@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation: stdio buffering over GENESYS.
+ *
+ * Legacy byte/line-oriented code issues tiny I/O operations; without
+ * buffering, each would become a full GPU->CPU syscall round trip.
+ * This sweep reads a 64 KiB file byte-by-byte (fgetc) through gstdio
+ * at different buffer sizes and compares against raw 1-byte pread
+ * system calls.
+ */
+
+#include "bench/common.hh"
+#include "core/stdio.hh"
+#include "osk/file.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+using namespace genesys::core;
+
+namespace
+{
+
+constexpr std::uint32_t kFileBytes = 64 * 1024;
+
+struct Point
+{
+    double ms;
+    std::uint64_t syscalls;
+};
+
+Point
+runBuffered(std::size_t buffer_bytes)
+{
+    core::System sys = freshSystem();
+    sys.kernel().vfs().createFile("/s")->setSynthetic(kFileBytes);
+    GpuStdio stdio(sys.gpuSys(), buffer_bytes);
+    const Tick start = sys.sim().now();
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys, &stdio](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        GpuFile *f = co_await stdio.fopen(ctx, "/s", "r");
+        for (;;) {
+            const int c = co_await stdio.fgetc(ctx, f);
+            if (c < 0)
+                break;
+        }
+        co_await stdio.fclose(ctx, f);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    const Tick end = sys.run();
+    return {ticks::toMs(end - start), sys.gpuSys().issuedRequests()};
+}
+
+Point
+runRawSyscalls()
+{
+    core::System sys = freshSystem();
+    sys.kernel().vfs().createFile("/s")->setSynthetic(kFileBytes);
+    const Tick start = sys.sim().now();
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        core::Invocation weak;
+        weak.ordering = core::Ordering::Relaxed;
+        const auto fd =
+            co_await sys.gpuSys().open(ctx, weak, "/s", osk::O_RDONLY);
+        char c;
+        for (std::uint32_t off = 0; off < kFileBytes; ++off) {
+            co_await sys.gpuSys().pread(ctx, weak,
+                                        static_cast<int>(fd), &c, 1,
+                                        off);
+        }
+        co_await sys.gpuSys().close(ctx, weak, static_cast<int>(fd));
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    const Tick end = sys.run();
+    return {ticks::toMs(end - start), sys.gpuSys().issuedRequests()};
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: stdio buffering",
+           "byte-at-a-time consumption of a 64 KiB file from GPU "
+           "code: raw 1-byte preads vs gstdio buffers");
+
+    TextTable table("stdio buffering ablation");
+    table.setHeader({"configuration", "time (ms)", "GENESYS syscalls",
+                     "vs raw"});
+    const Point raw = runRawSyscalls();
+    table.addRow({"raw pread per byte",
+                  logging::format("%.2f", raw.ms),
+                  logging::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      raw.syscalls)),
+                  "1.0x"});
+    for (std::size_t buf : {256u, 1024u, 4096u, 16384u}) {
+        const Point p = runBuffered(buf);
+        table.addRow(
+            {logging::format("gstdio, %zu B buffer", buf),
+             logging::format("%.2f", p.ms),
+             logging::format("%llu",
+                             static_cast<unsigned long long>(
+                                 p.syscalls)),
+             logging::format("%.0fx", raw.ms / p.ms)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("The adoption story quantified: buffering turns one "
+                "round trip per byte into one per buffer, making "
+                "legacy byte-oriented loops viable on the GPU.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Each bench binary regenerates one table or figure of the paper: it
+ * builds fresh simulated systems, sweeps the paper's parameter axes,
+ * and prints the same rows/series the paper reports (absolute numbers
+ * are calibration; shapes are the claim — see EXPERIMENTS.md).
+ */
+
+#ifndef GENESYS_BENCH_COMMON_HH
+#define GENESYS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+#include "support/table.hh"
+
+namespace genesys::bench
+{
+
+/** Print the standard header: what is being reproduced, on what. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    core::System probe;
+    std::printf("==============================================================\n");
+    std::printf("GENESYS reproduction | %s\n", experiment);
+    std::printf("%s\n", description);
+    std::printf("platform: %s\n", probe.platformString().c_str());
+    std::printf("==============================================================\n\n");
+}
+
+/** Fresh deterministic system per data point. */
+inline core::System
+freshSystem(std::uint64_t seed = 1)
+{
+    core::SystemConfig cfg;
+    cfg.seed = seed;
+    return core::System(cfg);
+}
+
+} // namespace genesys::bench
+
+#endif // GENESYS_BENCH_COMMON_HH

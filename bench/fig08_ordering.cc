@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 8: blocking vs non-blocking and strong vs relaxed ordering.
+ *
+ * The DES-like block-permutation microbenchmark: 1024-work-item groups
+ * permute 8 KiB blocks and pwrite the results at work-group
+ * granularity; the iteration count varies compute per system call.
+ *
+ * Expected shape (paper): strong+blocking worst; non-blocking ~30%
+ * faster at low iteration counts; weak orderings track non-blocking;
+ * all converge once compute dominates (>= ~16 iterations).
+ */
+
+#include "bench/common.hh"
+#include "workloads/permute.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+using namespace genesys::workloads;
+
+namespace
+{
+
+double
+runConfig(core::Ordering ordering, core::Blocking blocking,
+          std::uint32_t iterations)
+{
+    core::System sys = freshSystem(/*seed=*/17);
+    PermuteConfig cfg;
+    cfg.numBlocks = 192;
+    cfg.blockBytes = 8192;
+    cfg.wgSize = 1024;
+    cfg.iterations = iterations;
+    cfg.ordering = ordering;
+    cfg.blocking = blocking;
+    const PermuteResult result = runPermute(sys, cfg);
+    if (!result.outputCorrect)
+        fatal("permutation output corrupted (%s/%s, iters=%u)",
+              core::orderingName(ordering),
+              core::blockingName(blocking), iterations);
+    return result.usPerPermutation;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 8",
+           "8 KiB block permutation + pwrite at work-group "
+           "granularity; y = time per block permutation (us), lower "
+           "is better");
+
+    TextTable table("Figure 8");
+    table.setHeader({"iterations", "strong-block", "strong-non-block",
+                     "weak-block", "weak-non-block"});
+    for (std::uint32_t iters : {1u, 2u, 4u, 8u, 15u, 16u, 32u, 64u}) {
+        table.addRow(
+            {logging::format("%u", iters),
+             logging::format("%.1f",
+                             runConfig(core::Ordering::Strong,
+                                       core::Blocking::Blocking,
+                                       iters)),
+             logging::format("%.1f",
+                             runConfig(core::Ordering::Strong,
+                                       core::Blocking::NonBlocking,
+                                       iters)),
+             logging::format("%.1f",
+                             runConfig(core::Ordering::Relaxed,
+                                       core::Blocking::Blocking,
+                                       iters)),
+             logging::format("%.1f",
+                             runConfig(core::Ordering::Relaxed,
+                                       core::Blocking::NonBlocking,
+                                       iters))});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Expected shape: strong-block worst at low iteration "
+                "counts; non-blocking buys ~30%%; weak-block tracks "
+                "strong-non-block; all converge as compute "
+                "dominates.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 16: raster image copied to the framebuffer by the GPU.
+ *
+ * The GPU opens /dev/fb0, negotiates the mode over FBIOGET/PUT
+ * ioctls, mmaps the pixel memory, blits the raster with its
+ * work-groups, and pans the display. Every pixel is verified and the
+ * frame dumped as fig16_framebuffer.ppm.
+ */
+
+#include <fstream>
+
+#include "bench/common.hh"
+#include "workloads/fbdisplay.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+using namespace genesys::workloads;
+
+int
+main()
+{
+    banner("Figure 16",
+           "GPU-driven framebuffer: open + ioctl + mmap + blit + pan");
+
+    core::System sys = freshSystem();
+    FbDisplayConfig cfg;
+    cfg.width = 640;
+    cfg.height = 480;
+    const FbDisplayResult r = runFbDisplay(sys, cfg);
+
+    TextTable table("Figure 16");
+    table.setHeader({"metric", "value"});
+    table.addRow({"negotiated mode",
+                  logging::format("%ux%u @32bpp", r.width, r.height)});
+    table.addRow({"GPU syscalls (open/ioctl/mmap/pan)",
+                  logging::format("%llu",
+                                  static_cast<unsigned long long>(
+                                      r.ioctls))});
+    table.addRow({"pixels verified",
+                  logging::format("%u (%llu errors)",
+                                  r.width * r.height,
+                                  static_cast<unsigned long long>(
+                                      r.pixelErrors))});
+    table.addRow({"elapsed",
+                  logging::format("%.1f us", ticks::toUs(r.elapsed))});
+    table.addRow({"result", r.ok ? "image displayed" : "FAILED"});
+    std::printf("%s\n", table.render().c_str());
+
+    if (r.ok) {
+        const auto ppm = framebufferToPpm(
+            sys.kernel().framebuffer().pixels(), r.width, r.height);
+        std::ofstream out("fig16_framebuffer.ppm", std::ios::binary);
+        out.write(ppm.data(),
+                  static_cast<std::streamsize>(ppm.size()));
+        std::printf("wrote fig16_framebuffer.ppm (%zu bytes) — the "
+                    "raster of Figure 16.\n", ppm.size());
+    }
+    return r.ok ? 0 : 1;
+}

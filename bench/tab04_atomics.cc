@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table IV: profiled latency of the GPU atomic operations GENESYS uses
+ * on syscall-area cache lines (cmp-swap to claim a slot, swap to
+ * change state, atomic-load to poll) against a plain load. Measured
+ * through the simulated memory path, L2-warm, exactly as the runtime
+ * issues them.
+ */
+
+#include "bench/common.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+
+namespace
+{
+
+/** Average latency of @p op_latency accesses to one warm line. */
+double
+measure(core::System &sys, Tick op_latency)
+{
+    constexpr int kReps = 200;
+    const mem::Addr line = 0x2000'0000;
+    Tick start = 0, end = 0;
+    sys.sim().spawn([](core::System &s, Tick op, Tick &t0,
+                       Tick &t1) -> sim::Task<> {
+        // Warm the line so the measurement excludes the cold miss.
+        co_await s.gpu().accessLine(0x2000'0000, op);
+        t0 = s.sim().now();
+        for (int i = 0; i < kReps; ++i)
+            co_await s.gpu().accessLine(0x2000'0000, op);
+        t1 = s.sim().now();
+    }(sys, op_latency, start, end));
+    sys.run();
+    (void)line;
+    return ticks::toUs(end - start) / kReps;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table IV",
+           "Profiled performance of GPU atomic operations on "
+           "syscall-area lines (microseconds per op)");
+
+    core::System sys;
+    const auto &gpu_cfg = sys.gpu().config();
+
+    TextTable table("Table IV");
+    table.setHeader({"op", "cmp-swap", "swap", "atomic-load", "load"});
+    table.addRow(
+        {"time (us)",
+         logging::format("%.2f", measure(sys, gpu_cfg.atomicCmpSwap)),
+         logging::format("%.2f", measure(sys, gpu_cfg.atomicSwap)),
+         logging::format("%.2f", measure(sys, gpu_cfg.atomicLoad)),
+         logging::format("%.2f", measure(sys, gpu_cfg.plainLoad))});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Atomics force coherent L2/fabric round trips (they "
+                "bypass the non-coherent L1), costing an order of "
+                "magnitude more than a plain load — why GENESYS packs "
+                "each slot into a single cache line and uses exactly "
+                "one claim + one publish atomic per request.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory-management example (paper Section VIII-A / Figure 11): an
+ * adaptive-mesh workload whose GPU kernels watch their own resident
+ * set with getrusage and return cold blocks to the OS with madvise,
+ * surviving a dataset slightly larger than physical memory that kills
+ * the unmanaged baseline via the GPU watchdog.
+ *
+ *   $ ./gpu_memory_manager
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "workloads/miniamr.hh"
+
+using namespace genesys;
+using namespace genesys::workloads;
+
+namespace
+{
+
+MiniAmrResult
+runMode(std::uint64_t watermark)
+{
+    core::SystemConfig sys_cfg;
+    sys_cfg.seed = 3;
+    sys_cfg.kernel.physMemBytes = 512ull << 20; // scaled-down "4 GB"
+    core::System sys(sys_cfg);
+    MiniAmrConfig cfg;
+    cfg.datasetBytes = 544ull << 20; // just past the limit ("4.1 GB")
+    cfg.blockBytes = 8ull << 20;
+    cfg.timesteps = 24;
+    cfg.rssWatermarkBytes = watermark;
+    cfg.gpuTimeout = ticks::ms(400);
+    return runMiniAmr(sys, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("miniAMR with GPU-driven madvise/getrusage\n\n");
+    std::printf("%-14s %10s %10s %12s %10s %9s\n", "variant",
+                "steps", "time(ms)", "peakRSS(MB)", "madvises",
+                "outcome");
+
+    struct Variant
+    {
+        const char *name;
+        std::uint64_t watermark;
+    };
+    // Watermarks leave headroom for one timestep's worth of newly
+    // refined blocks, as the paper's 4 GB watermark did against its
+    // 4.1 GB dataset.
+    const Variant variants[] = {
+        {"no-madvise", 0},
+        {"rss-3gb", 320ull << 20},
+        {"rss-4gb", 416ull << 20},
+    };
+    for (const auto &v : variants) {
+        const MiniAmrResult r = runMode(v.watermark);
+        std::printf("%-14s %10u %10.1f %12.1f %10llu %9s\n", v.name,
+                    r.timestepsRun, ticks::toMs(r.elapsed),
+                    static_cast<double>(r.peakRssBytes) / (1 << 20),
+                    static_cast<unsigned long long>(r.madviseCalls),
+                    r.gpuTimeout ? "TIMEOUT"
+                                 : (r.completed ? "ok" : "partial"));
+    }
+    std::printf("\nWithout madvise the swap stall trips the GPU "
+                "watchdog, exactly as in the paper's Figure 11 "
+                "baseline.\n");
+    return 0;
+}

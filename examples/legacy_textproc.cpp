@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Legacy text processing on the GPU — the paper's backwards-
+ * compatibility claim, demonstrated: a classic line-oriented utility
+ * (number the lines of a file and report word/line/byte counts, i.e.
+ * `nl` + `wc`) written exactly the way single-threaded C code would
+ * be, against the gstdio layer (fopen/fgets/fprintf/fclose) that sits
+ * on plain GENESYS system calls.
+ *
+ *   $ ./legacy_textproc
+ */
+
+#include <cstdio>
+
+#include "core/stdio.hh"
+#include "core/system.hh"
+#include "osk/file.hh"
+
+using namespace genesys;
+using namespace genesys::core;
+
+int
+main()
+{
+    System sys;
+    sys.kernel().vfs().createFile("/input.txt")->setData(
+        "The quick brown fox\n"
+        "jumps over\n"
+        "the lazy dog\n"
+        "\n"
+        "POSIX from a GPU work-group\n");
+
+    GpuStdio stdio(sys.gpuSys());
+    int lines = 0, words = 0, bytes = 0;
+
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        GpuFile *in = co_await stdio.fopen(ctx, "/input.txt", "r");
+        GpuFile *out = co_await stdio.fopen(ctx, "/numbered.txt", "w");
+        GpuFile *tty = co_await stdio.fopen(ctx, "/dev/console", "a");
+        if (in == nullptr || out == nullptr || tty == nullptr)
+            co_return;
+
+        for (;;) {
+            auto line = co_await stdio.fgets(ctx, in);
+            if (!line.has_value())
+                break;
+            ++lines;
+            bytes += static_cast<int>(line->size()) + 1;
+            bool in_word = false;
+            for (char c : *line) {
+                if (c != ' ' && !in_word) {
+                    ++words;
+                    in_word = true;
+                } else if (c == ' ') {
+                    in_word = false;
+                }
+            }
+            co_await stdio.fprintf(ctx, out, "%6d  %s\n", lines,
+                                   line->c_str());
+        }
+        co_await stdio.fprintf(ctx, tty, "%d lines, %d words, %d bytes\n",
+                               lines, words, bytes);
+        co_await stdio.fclose(ctx, in);
+        co_await stdio.fclose(ctx, out);
+        co_await stdio.fclose(ctx, tty);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+
+    std::printf("console: %s",
+                sys.kernel().terminal().transcript().c_str());
+    auto *numbered = static_cast<osk::RegularFile *>(
+        sys.kernel().vfs().resolve("/numbered.txt"));
+    std::printf("numbered.txt (%llu bytes):\n%.*s",
+                static_cast<unsigned long long>(numbered->size()),
+                static_cast<int>(numbered->size()),
+                reinterpret_cast<const char *>(numbered->data().data()));
+    std::printf("\nGENESYS syscalls used: %llu (buffered: far fewer "
+                "than the %d stdio operations)\n",
+                static_cast<unsigned long long>(
+                    sys.gpuSys().issuedRequests()),
+                lines * 2 + 3);
+    return 0;
+}

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * GpuSyscalls implementation.
+ */
+
+#include "client.hh"
+
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace genesys::core
+{
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::WorkItem:
+        return "work-item";
+      case Granularity::WorkGroup:
+        return "work-group";
+      case Granularity::Kernel:
+        return "kernel";
+    }
+    return "?";
+}
+
+const char *
+orderingName(Ordering o)
+{
+    return o == Ordering::Strong ? "strong" : "relaxed";
+}
+
+const char *
+blockingName(Blocking b)
+{
+    return b == Blocking::Blocking ? "blocking" : "non-blocking";
+}
+
+const char *
+waitModeName(WaitMode w)
+{
+    return w == WaitMode::Polling ? "polling" : "halt-resume";
+}
+
+sim::Task<>
+GpuSyscalls::claimSlot(gpu::WavefrontCtx &ctx, std::uint32_t item_slot)
+{
+    SyscallSlot &slot = area_.slot(item_slot);
+    const mem::Addr addr = area_.slotAddr(item_slot);
+    for (;;) {
+        co_await gpu_.accessLine(addr, gpu_.config().atomicCmpSwap);
+        if (slot.claim())
+            co_return;
+        // Slot still owned by an earlier (non-blocking) call; retry.
+        co_await ctx.compute(params_.pollIntervalCycles);
+    }
+}
+
+sim::Task<>
+GpuSyscalls::waitSlots(
+    gpu::WavefrontCtx &ctx, Invocation inv,
+    std::uint32_t first_slot, std::uint64_t lane_mask,
+    std::function<void(std::uint32_t, std::int64_t)> on_result)
+{
+    std::uint64_t outstanding = lane_mask;
+    auto sweep_finished = [&](bool timed) -> sim::Task<> {
+        for (std::uint32_t lane = 0; lane < 64 && outstanding != 0;
+             ++lane) {
+            if ((outstanding & (1ull << lane)) == 0)
+                continue;
+            SyscallSlot &slot = area_.slot(first_slot + lane);
+            if (timed) {
+                co_await gpu_.accessLine(
+                    area_.slotAddr(first_slot + lane),
+                    gpu_.config().atomicLoad);
+            }
+            if (slot.finished()) {
+                const std::int64_t ret = slot.consume();
+                outstanding &= ~(1ull << lane);
+                if (on_result)
+                    on_result(lane, ret);
+            }
+        }
+    };
+
+    if (inv.waitMode == WaitMode::Polling) {
+        while (outstanding != 0) {
+            co_await sweep_finished(true);
+            if (outstanding != 0)
+                co_await ctx.compute(params_.pollIntervalCycles);
+        }
+    } else {
+        for (;;) {
+            // State checks are untimed here: the wave is about to
+            // relinquish its SIMD slot rather than generate traffic.
+            co_await sweep_finished(false);
+            if (outstanding == 0)
+                break;
+            co_await ctx.halt();
+        }
+    }
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
+                          int sysno, osk::SyscallArgs args,
+                          std::uint32_t item_slot)
+{
+    SyscallSlot &slot = area_.slot(item_slot);
+    const mem::Addr addr = area_.slotAddr(item_slot);
+
+    co_await claimSlot(ctx, item_slot);
+    co_await sim::Delay(ctx.sim().events(), params_.perLanePopulate);
+    co_await gpu_.accessLine(addr, gpu_.config().atomicSwap);
+    slot.publish(sysno, args, inv.blocking == Blocking::Blocking,
+                 inv.waitMode, ctx.hwWaveSlot());
+    ++issued_;
+    GENESYS_TRACE(ctx.sim(), "genesys",
+                  "wave %u publishes sysno %d (%s, %s, %s)",
+                  ctx.hwWaveSlot(), sysno, orderingName(inv.ordering),
+                  blockingName(inv.blocking),
+                  waitModeName(inv.waitMode));
+    gpu_.sendInterrupt(ctx.hwWaveSlot());
+
+    if (inv.blocking == Blocking::NonBlocking)
+        co_return 0;
+
+    std::int64_t result = 0;
+    const std::uint32_t lane_in_wave =
+        item_slot - area_.firstItemSlotOfWave(ctx.hwWaveSlot());
+    co_await waitSlots(ctx, inv, area_.firstItemSlotOfWave(
+                                     ctx.hwWaveSlot()),
+                       1ull << lane_in_wave,
+                       [&result](std::uint32_t, std::int64_t r) {
+                           result = r;
+                       });
+    co_return result;
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::invokeWorkGroup(gpu::WavefrontCtx &ctx,
+                             Invocation inv, int sysno,
+                             osk::SyscallArgs args)
+{
+    GENESYS_ASSERT(inv.granularity == Granularity::WorkGroup,
+                   "invokeWorkGroup with %s granularity",
+                   granularityName(inv.granularity));
+    const bool bar_before =
+        inv.ordering == Ordering::Strong || inv.role == Role::Consumer;
+    const bool bar_after =
+        inv.ordering == Ordering::Strong || inv.role == Role::Producer;
+
+    if (bar_before)
+        co_await ctx.wgBarrier();
+
+    std::int64_t ret = 0;
+    if (ctx.isGroupLeader()) {
+        if (inv.role == Role::Consumer) {
+            // Manual software coherence: flush GPU L1 so the CPU sees
+            // the buffer this call consumes (Section VI).
+            co_await sim::Delay(ctx.sim().events(), params_.l1FlushCost);
+        }
+        ret = co_await issueAndWait(
+            ctx, inv, sysno, args,
+            area_.firstItemSlotOfWave(ctx.hwWaveSlot()));
+    }
+
+    if (bar_after)
+        co_await ctx.wgBarrier();
+    co_return ret;
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::invokeKernel(gpu::WavefrontCtx &ctx, Invocation inv,
+                          int sysno, osk::SyscallArgs args)
+{
+    GENESYS_ASSERT(inv.granularity == Granularity::Kernel,
+                   "invokeKernel with %s granularity",
+                   granularityName(inv.granularity));
+    if (inv.ordering == Ordering::Strong) {
+        // Strong ordering at kernel scope would require every
+        // work-item of the grid to synchronize, but the grid can
+        // exceed device residency: deadlock (Section V-A).
+        fatal("strong ordering at kernel granularity risks GPU "
+              "deadlock; use relaxed ordering");
+    }
+    if (!(ctx.workgroupId() == 0 && ctx.isGroupLeader()))
+        co_return 0;
+    if (inv.role == Role::Consumer)
+        co_await sim::Delay(ctx.sim().events(), params_.l1FlushCost);
+    co_return co_await issueAndWait(
+        ctx, inv, sysno, args,
+        area_.firstItemSlotOfWave(ctx.hwWaveSlot()));
+}
+
+sim::Task<>
+GpuSyscalls::invokeWorkItems(
+    gpu::WavefrontCtx &ctx, Invocation inv, int sysno,
+    std::function<std::optional<osk::SyscallArgs>(std::uint32_t)>
+        lane_args,
+    std::function<void(std::uint32_t, std::int64_t)> on_result)
+{
+    GENESYS_ASSERT(inv.granularity == Granularity::WorkItem,
+                   "invokeWorkItems with %s granularity",
+                   granularityName(inv.granularity));
+    if (inv.ordering == Ordering::Relaxed) {
+        fatal("work-item invocations imply strong ordering "
+              "(Section V-A)");
+    }
+
+    const std::uint32_t first_slot =
+        area_.firstItemSlotOfWave(ctx.hwWaveSlot());
+    std::uint64_t mask = 0;
+    std::vector<osk::SyscallArgs> args(ctx.laneCount());
+    for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+        if (auto a = lane_args(lane)) {
+            args[lane] = *a;
+            mask |= 1ull << lane;
+        }
+    }
+    if (mask == 0)
+        co_return; // fully diverged wave: nothing to do
+
+    if (inv.role == Role::Consumer)
+        co_await sim::Delay(ctx.sim().events(), params_.l1FlushCost);
+
+    // Claim every active lane's slot. The SIMD unit issues the
+    // cmp-swaps as one wavefront instruction: the first lane pays the
+    // full fabric latency, the rest pipeline behind it.
+    bool first = true;
+    for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+        if ((mask & (1ull << lane)) == 0)
+            continue;
+        SyscallSlot &slot = area_.slot(first_slot + lane);
+        const mem::Addr addr = area_.slotAddr(first_slot + lane);
+        for (;;) {
+            co_await gpu_.accessLine(addr,
+                                     first ? gpu_.config().atomicCmpSwap
+                                           : params_.perLanePopulate);
+            if (slot.claim())
+                break;
+            co_await ctx.compute(params_.pollIntervalCycles);
+        }
+        first = false;
+    }
+
+    // Populate and publish each slot; again pipelined across lanes.
+    first = true;
+    for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+        if ((mask & (1ull << lane)) == 0)
+            continue;
+        SyscallSlot &slot = area_.slot(first_slot + lane);
+        const mem::Addr addr = area_.slotAddr(first_slot + lane);
+        co_await gpu_.accessLine(addr, first ? gpu_.config().atomicSwap
+                                             : params_.perLanePopulate);
+        slot.publish(sysno, args[lane],
+                     inv.blocking == Blocking::Blocking, inv.waitMode,
+                     ctx.hwWaveSlot());
+        ++issued_;
+        first = false;
+    }
+
+    // One scalar s_sendmsg for the whole wavefront.
+    gpu_.sendInterrupt(ctx.hwWaveSlot());
+
+    if (inv.blocking == Blocking::Blocking)
+        co_await waitSlots(ctx, inv, first_slot, mask,
+                           std::move(on_result));
+}
+
+// --------------------------------------------------------- POSIX wrappers
+
+namespace
+{
+
+Invocation
+withRole(Invocation inv, Role role)
+{
+    inv.role = role;
+    return inv;
+}
+
+} // namespace
+
+sim::Task<std::int64_t>
+GpuSyscalls::open(gpu::WavefrontCtx &ctx, Invocation inv,
+                  const char *path, int flags)
+{
+    const auto args = osk::makeArgs(path, flags);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::open, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::open, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::close(gpu::WavefrontCtx &ctx, Invocation inv, int fd)
+{
+    const auto args = osk::makeArgs(fd);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::close, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::close, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::read(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                  void *buf, std::uint64_t len)
+{
+    const auto args = osk::makeArgs(fd, buf, len);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::read, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::read, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::write(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                   const void *buf, std::uint64_t len)
+{
+    const auto args = osk::makeArgs(fd, buf, len);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::write, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::write, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::pread(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                   void *buf, std::uint64_t len, std::int64_t offset)
+{
+    const auto args = osk::makeArgs(fd, buf, len, offset);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::pread64, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::pread64, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::pwrite(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                    const void *buf, std::uint64_t len,
+                    std::int64_t offset)
+{
+    const auto args = osk::makeArgs(fd, buf, len, offset);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::pwrite64, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::pwrite64, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::lseek(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                   std::int64_t offset, int whence)
+{
+    const auto args = osk::makeArgs(fd, offset, whence);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::lseek, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::lseek, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::mmap(gpu::WavefrontCtx &ctx, Invocation inv,
+                  std::uint64_t length, int fd)
+{
+    const auto args = osk::makeArgs(0, length, 3, 0x22, fd, 0);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::mmap, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::mmap, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::munmap(gpu::WavefrontCtx &ctx, Invocation inv,
+                    std::uint64_t addr, std::uint64_t length)
+{
+    const auto args = osk::makeArgs(addr, length);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::munmap, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::munmap, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::madvise(gpu::WavefrontCtx &ctx, Invocation inv,
+                     std::uint64_t addr, std::uint64_t length,
+                     int advice)
+{
+    const auto args = osk::makeArgs(addr, length, advice);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::madvise, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::madvise, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::getrusage(gpu::WavefrontCtx &ctx, Invocation inv,
+                       osk::RUsage *usage)
+{
+    const auto args = osk::makeArgs(0, usage);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::getrusage, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::getrusage, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::rtSigqueueinfo(gpu::WavefrontCtx &ctx, Invocation inv,
+                            int pid, int signo,
+                            const osk::SigInfo *info)
+{
+    const auto args = osk::makeArgs(pid, signo, info);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::rt_sigqueueinfo, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::rt_sigqueueinfo, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::sendto(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                    const void *buf, std::uint64_t len,
+                    const osk::SockAddr *dest)
+{
+    const auto args = osk::makeArgs(fd, buf, len, 0, dest, 8);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::sendto, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::sendto, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::recvfrom(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                      void *buf, std::uint64_t len, osk::SockAddr *src)
+{
+    const auto args = osk::makeArgs(fd, buf, len, 0, src, 8);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::recvfrom, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::recvfrom, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::ioctl(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                   std::uint64_t request, void *argp)
+{
+    const auto args = osk::makeArgs(fd, request, argp);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::ioctl, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::ioctl, args);
+}
+
+} // namespace genesys::core

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * GPU-side GENESYS API.
+ *
+ * Exposes the paper's design space as first-class invocation
+ * parameters (Section V):
+ *
+ *  - Granularity: per work-item, per work-group, or per kernel.
+ *  - Ordering: strong (barriers before and after) or relaxed; relaxed
+ *    placement depends on whether the call consumes GPU-produced data
+ *    (write-like: barrier before only) or produces data for the GPU
+ *    (read-like: barrier after only).
+ *  - Blocking: blocking waits for the CPU's result; non-blocking
+ *    returns as soon as the request is published.
+ *  - WaitMode: blocking waiters either poll the slot (atomic loads
+ *    through the coherent L2) or halt the wavefront and wait for a
+ *    CPU resume message.
+ *
+ * Semantics enforced from the paper:
+ *  - work-item granularity implies strong ordering;
+ *  - kernel granularity requires relaxed ordering (strong would
+ *    deadlock a grid larger than the device's residency).
+ *
+ * POSIX wrappers cover the system calls GENESYS implements.
+ */
+
+#ifndef GENESYS_CORE_CLIENT_HH
+#define GENESYS_CORE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/params.hh"
+#include "core/slot.hh"
+#include "gpu/gpu.hh"
+#include "osk/net.hh"
+#include "osk/signals.hh"
+#include "osk/syscalls.hh"
+
+namespace genesys::core
+{
+
+enum class Granularity
+{
+    WorkItem,
+    WorkGroup,
+    Kernel,
+};
+
+enum class Ordering
+{
+    Strong,
+    Relaxed,
+};
+
+enum class Blocking
+{
+    Blocking,
+    NonBlocking,
+};
+
+/** Data-flow direction of the call, for relaxed barrier placement. */
+enum class Role
+{
+    Producer, ///< read-like: the call produces data the GPU consumes
+    Consumer, ///< write-like: the call consumes data the GPU produced
+};
+
+struct Invocation
+{
+    Granularity granularity = Granularity::WorkGroup;
+    Ordering ordering = Ordering::Strong;
+    Blocking blocking = Blocking::Blocking;
+    WaitMode waitMode = WaitMode::Polling;
+    Role role = Role::Consumer;
+};
+
+const char *granularityName(Granularity g);
+const char *orderingName(Ordering o);
+const char *blockingName(Blocking b);
+const char *waitModeName(WaitMode w);
+
+class GpuSyscalls
+{
+  public:
+    GpuSyscalls(gpu::GpuDevice &gpu, SyscallArea &area,
+                const GenesysParams &params)
+        : gpu_(gpu), area_(area), params_(params)
+    {}
+
+    /**
+     * Work-group granularity invocation. Every wavefront of the group
+     * must call this (the barriers span the group); the group-leader
+     * lane performs the actual call.
+     * @return the syscall result on the leader wave; 0 elsewhere and
+     *         for non-blocking invocations.
+     */
+    sim::Task<std::int64_t>
+    invokeWorkGroup(gpu::WavefrontCtx &ctx, Invocation inv,
+                    int sysno, osk::SyscallArgs args);
+
+    /**
+     * Kernel granularity: every wavefront calls this; only work-group
+     * 0's leader invokes. Requires relaxed ordering (fatal otherwise).
+     */
+    sim::Task<std::int64_t>
+    invokeKernel(gpu::WavefrontCtx &ctx, Invocation inv,
+                 int sysno, osk::SyscallArgs args);
+
+    /**
+     * Work-item granularity: each active lane of this wavefront issues
+     * its own request (strong ordering is implied; requesting relaxed
+     * ordering is fatal).
+     *
+     * @param lane_args  per-lane arguments; std::nullopt marks an
+     *                   inactive (diverged) lane.
+     * @param on_result  invoked per lane with the syscall result
+     *                   (blocking invocations only).
+     */
+    sim::Task<>
+    invokeWorkItems(
+        gpu::WavefrontCtx &ctx, Invocation inv, int sysno,
+        std::function<std::optional<osk::SyscallArgs>(std::uint32_t)>
+            lane_args,
+        std::function<void(std::uint32_t, std::int64_t)> on_result = {});
+
+    // ---- POSIX wrappers (work-group/kernel granularity) -----------
+    sim::Task<std::int64_t> open(gpu::WavefrontCtx &, Invocation,
+                                 const char *path, int flags);
+    sim::Task<std::int64_t> close(gpu::WavefrontCtx &, Invocation,
+                                  int fd);
+    sim::Task<std::int64_t> read(gpu::WavefrontCtx &, Invocation,
+                                 int fd, void *buf, std::uint64_t len);
+    sim::Task<std::int64_t> write(gpu::WavefrontCtx &, Invocation,
+                                  int fd, const void *buf,
+                                  std::uint64_t len);
+    sim::Task<std::int64_t> pread(gpu::WavefrontCtx &, Invocation,
+                                  int fd, void *buf, std::uint64_t len,
+                                  std::int64_t offset);
+    sim::Task<std::int64_t> pwrite(gpu::WavefrontCtx &, Invocation,
+                                   int fd, const void *buf,
+                                   std::uint64_t len,
+                                   std::int64_t offset);
+    sim::Task<std::int64_t> lseek(gpu::WavefrontCtx &, Invocation,
+                                  int fd, std::int64_t offset,
+                                  int whence);
+    sim::Task<std::int64_t> mmap(gpu::WavefrontCtx &, Invocation,
+                                 std::uint64_t length, int fd);
+    sim::Task<std::int64_t> munmap(gpu::WavefrontCtx &, Invocation,
+                                   std::uint64_t addr,
+                                   std::uint64_t length);
+    sim::Task<std::int64_t> madvise(gpu::WavefrontCtx &, Invocation,
+                                    std::uint64_t addr,
+                                    std::uint64_t length, int advice);
+    sim::Task<std::int64_t> getrusage(gpu::WavefrontCtx &, Invocation,
+                                      osk::RUsage *usage);
+    sim::Task<std::int64_t> rtSigqueueinfo(gpu::WavefrontCtx &,
+                                           Invocation, int pid,
+                                           int signo,
+                                           const osk::SigInfo *info);
+    sim::Task<std::int64_t> sendto(gpu::WavefrontCtx &, Invocation,
+                                   int fd, const void *buf,
+                                   std::uint64_t len,
+                                   const osk::SockAddr *dest);
+    sim::Task<std::int64_t> recvfrom(gpu::WavefrontCtx &, Invocation,
+                                     int fd, void *buf,
+                                     std::uint64_t len,
+                                     osk::SockAddr *src);
+    sim::Task<std::int64_t> ioctl(gpu::WavefrontCtx &, Invocation,
+                                  int fd, std::uint64_t request,
+                                  void *argp);
+
+    // ---- stats -----------------------------------------------------
+    std::uint64_t issuedRequests() const { return issued_; }
+
+  private:
+    /**
+     * Leader-lane issue path: claim slot, populate, publish, raise the
+     * interrupt, and (for blocking calls) wait and consume the result.
+     */
+    sim::Task<std::int64_t> issueAndWait(gpu::WavefrontCtx &ctx,
+                                         Invocation inv,
+                                         int sysno,
+                                         osk::SyscallArgs args,
+                                         std::uint32_t item_slot);
+
+    /** Claim the slot, retrying while it is busy. */
+    sim::Task<> claimSlot(gpu::WavefrontCtx &ctx,
+                          std::uint32_t item_slot);
+
+    /** Poll (or halt) until every listed slot finishes; consume all. */
+    sim::Task<> waitSlots(gpu::WavefrontCtx &ctx, Invocation inv,
+                          std::uint32_t first_slot,
+                          std::uint64_t lane_mask,
+                          std::function<void(std::uint32_t,
+                                             std::int64_t)> on_result);
+
+    gpu::GpuDevice &gpu_;
+    SyscallArea &area_;
+    GenesysParams params_;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_CLIENT_HH

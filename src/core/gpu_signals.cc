@@ -1,0 +1,93 @@
+/**
+ * @file
+ * GpuSignalDelivery implementation.
+ */
+
+#include "gpu_signals.hh"
+
+#include <cerrno>
+
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+
+int
+GpuSignalDelivery::sigaction(int signo, GpuSignalHandler handler)
+{
+    if (signo < 1 || signo > osk::SIGRTMAX_ || handler == nullptr)
+        return -EINVAL;
+    handlers_[signo] = std::move(handler);
+    return 0;
+}
+
+bool
+GpuSignalDelivery::removeHandler(int signo)
+{
+    pending_.erase(signo);
+    return handlers_.erase(signo) > 0;
+}
+
+int
+GpuSignalDelivery::deliver(const osk::SigInfo &info)
+{
+    if (!handlers_.contains(info.signo))
+        return -EINVAL;
+    PendingBatch &batch = pending_[info.signo];
+    batch.infos.push_back(info);
+    ++delivered_;
+    const std::uint32_t wave_size = gpu_.config().wavefrontSize;
+    if (batch.infos.size() >= wave_size) {
+        flush(info.signo);
+    } else if (!batch.timerArmed) {
+        batch.timerArmed = true;
+        sim_.events().scheduleIn(params_.recombineWindow,
+                                 [this, signo = info.signo] {
+                                     flush(signo);
+                                 });
+    }
+    return 0;
+}
+
+void
+GpuSignalDelivery::flush(int signo)
+{
+    auto it = pending_.find(signo);
+    if (it == pending_.end() || it->second.infos.empty())
+        return;
+    std::vector<osk::SigInfo> infos = std::move(it->second.infos);
+    it->second.infos.clear();
+    it->second.timerArmed = false;
+    sim_.spawn(launchHandlerWave(signo, std::move(infos)));
+}
+
+sim::Task<>
+GpuSignalDelivery::launchHandlerWave(int signo,
+                                     std::vector<osk::SigInfo> infos)
+{
+    recombination_.sample(static_cast<double>(infos.size()));
+    ++handlerWaves_;
+    GpuSignalHandler handler = handlers_.at(signo);
+
+    // Device-side dynamic enqueue: a doorbell write, not a CPU round
+    // trip. Charge the reduced latency, then run the handler as a
+    // one-wavefront kernel sharing the device's residency.
+    co_await sim::Delay(sim_.events(),
+                        params_.dynamicLaunchLatency);
+    gpu::KernelLaunch launch;
+    launch.workItems = gpu_.config().wavefrontSize;
+    launch.wgSize = gpu_.config().wavefrontSize;
+    launch.kernelLaunchLatencyOverride = 0; // doorbell, not host dispatch
+    auto shared_infos =
+        std::make_shared<std::vector<osk::SigInfo>>(std::move(infos));
+    launch.program = [handler, shared_infos](gpu::WavefrontCtx &ctx)
+        -> sim::Task<> {
+        co_await handler(ctx,
+                         std::span<const osk::SigInfo>(
+                             shared_infos->data(),
+                             shared_infos->size()));
+    };
+    co_await gpu_.launch(std::move(launch));
+}
+
+} // namespace genesys::core

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * GenesysHost implementation.
+ */
+
+#include "host.hh"
+
+#include <utility>
+
+#include "osk/sysfs.hh"
+#include "sim/sync.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace genesys::core
+{
+
+GenesysHost::GenesysHost(osk::Kernel &kernel, gpu::GpuDevice &gpu,
+                         SyscallArea &area, osk::Process &proc,
+                         const GenesysParams &params)
+    : kernel_(kernel), gpu_(gpu), area_(area), proc_(proc),
+      params_(params),
+      drainWait_(std::make_unique<sim::WaitQueue>(kernel.sim().events()))
+{
+    gpu_.setInterruptSink(
+        [this](std::uint32_t hw_wave) { onGpuInterrupt(hw_wave); });
+
+    // The paper's sysfs control surface (Section VI): coalescing is
+    // tuned by writing /sys/genesys/coalesce_{window_ns,max_batch}.
+    kernel_.vfs().install(
+        "/sys/genesys/coalesce_window_ns",
+        std::make_shared<osk::SysfsFile>(
+            [this] { return static_cast<std::uint64_t>(
+                         params_.coalesceWindow); },
+            [this](std::uint64_t v) {
+                params_.coalesceWindow = v;
+                return true;
+            }));
+    kernel_.vfs().install(
+        "/sys/genesys/coalesce_max_batch",
+        std::make_shared<osk::SysfsFile>(
+            [this] { return static_cast<std::uint64_t>(
+                         params_.coalesceMaxBatch); },
+            [this](std::uint64_t v) {
+                if (v == 0)
+                    return false;
+                params_.coalesceMaxBatch =
+                    static_cast<std::uint32_t>(v);
+                return true;
+            }));
+}
+
+void
+GenesysHost::setCoalescing(Tick window, std::uint32_t max_batch)
+{
+    GENESYS_ASSERT(max_batch >= 1, "batch bound must be positive");
+    params_.coalesceWindow = window;
+    params_.coalesceMaxBatch = max_batch;
+}
+
+void
+GenesysHost::onGpuInterrupt(std::uint32_t hw_wave_slot)
+{
+    if (daemonRunning_)
+        return; // prior-work backend: no interrupt path
+    ++interrupts_;
+    ++inFlight_;
+    GENESYS_TRACE(kernel_.sim(), "genesys",
+                  "s_sendmsg interrupt from hw wave %u", hw_wave_slot);
+    kernel_.sim().spawn(interruptArrival(hw_wave_slot));
+}
+
+sim::Task<>
+GenesysHost::interruptArrival(std::uint32_t hw_wave_slot)
+{
+    auto &eq = kernel_.sim().events();
+    const auto &osk_params = kernel_.params();
+    co_await sim::Delay(eq, osk_params.interruptDeliver);
+    co_await sim::Delay(eq, osk_params.interruptHandler);
+
+    pendingBatch_.push_back(hw_wave_slot);
+    if (params_.coalesceWindow == 0 ||
+        pendingBatch_.size() >= params_.coalesceMaxBatch) {
+        if (batchTimerArmed_) {
+            eq.deschedule(batchTimer_);
+            batchTimerArmed_ = false;
+        }
+        flushPendingBatch();
+    } else if (!batchTimerArmed_) {
+        batchTimerArmed_ = true;
+        batchTimer_ = eq.scheduleIn(params_.coalesceWindow, [this] {
+            batchTimerArmed_ = false;
+            flushPendingBatch();
+        });
+    }
+}
+
+void
+GenesysHost::flushPendingBatch()
+{
+    if (pendingBatch_.empty())
+        return;
+    std::vector<std::uint32_t> batch = std::exchange(pendingBatch_, {});
+    ++batches_;
+    GENESYS_TRACE(kernel_.sim(), "genesys",
+                  "dispatching coalesced batch of %zu wave(s)",
+                  batch.size());
+    batchSizes_.sample(static_cast<double>(batch.size()));
+    kernel_.workqueue().enqueue(
+        [this, batch = std::move(batch)]() mutable -> sim::Task<> {
+            return serviceBatch(std::move(batch));
+        });
+}
+
+sim::Task<>
+GenesysHost::serviceBatch(std::vector<std::uint32_t> waves)
+{
+    const auto &osk_params = kernel_.params();
+    // The worker runs its task to completion on one core (Linux
+    // workqueue semantics), starting with the switch into the context
+    // of the process that launched the GPU kernel (Section VI).
+    co_await kernel_.cpus().acquireCore();
+    co_await sim::Delay(kernel_.sim().events(),
+                        osk_params.workqueueEnqueue +
+                            osk_params.contextSwitch);
+    for (std::uint32_t wave : waves) {
+        co_await serviceWaveSlots(wave);
+        GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
+        --inFlight_;
+    }
+    kernel_.cpus().releaseCore();
+    drainWait_->notifyAll();
+}
+
+sim::Task<int>
+GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot)
+{
+    const std::uint32_t first = area_.firstItemSlotOfWave(hw_wave_slot);
+    int handled = 0;
+    for (std::uint32_t lane = 0; lane < area_.wavefrontSize(); ++lane) {
+        SyscallSlot &slot = area_.slot(first + lane);
+        if (!slot.beginProcessing())
+            continue;
+        // Calls that can block indefinitely (recvfrom on an empty
+        // socket, read on an empty pipe, nanosleep) release the core
+        // — a blocked kernel thread schedules away — and re-acquire
+        // afterwards.
+        const bool may_block =
+            slot.sysno() == osk::sysno::recvfrom ||
+            slot.sysno() == osk::sysno::read ||
+            slot.sysno() == osk::sysno::nanosleep;
+        if (may_block)
+            kernel_.cpus().releaseCore();
+        const std::int64_t ret = co_await kernel_.doSyscall(
+            proc_, slot.sysno(), slot.args());
+        if (may_block)
+            co_await kernel_.cpus().acquireCore();
+        GENESYS_TRACE(kernel_.sim(), "syscall",
+                      "wave %u lane %u: %s -> %lld", hw_wave_slot, lane,
+                      kernel_.syscalls().name(slot.sysno()).c_str(),
+                      static_cast<long long>(ret));
+        const bool wake = slot.blocking() &&
+                          slot.waitMode() == WaitMode::HaltResume;
+        slot.complete(ret);
+        ++processed_;
+        ++handled;
+        if (wake)
+            gpu_.resumeWave(slot.hwWaveSlot());
+    }
+    co_return handled;
+}
+
+sim::Task<>
+GenesysHost::drain()
+{
+    if (daemonRunning_) {
+        // Daemon mode has no in-flight counter; poll area quiescence.
+        auto quiescent = [this] {
+            for (std::size_t i = 0; i < area_.slotCount(); ++i) {
+                if (area_.slot(static_cast<std::uint32_t>(i)).state() !=
+                    SlotState::Free) {
+                    return false;
+                }
+            }
+            return true;
+        };
+        while (!quiescent())
+            co_await sim::Delay(kernel_.sim().events(), ticks::us(10));
+        co_return;
+    }
+    while (inFlight_ > 0)
+        co_await drainWait_->wait();
+}
+
+void
+GenesysHost::startPollingDaemon(Tick scan_interval)
+{
+    GENESYS_ASSERT(!daemonRunning_, "daemon already running");
+    daemonRunning_ = true;
+    kernel_.sim().spawn(
+        kernel_.cpus().run(daemonLoop(scan_interval)));
+}
+
+sim::Task<>
+GenesysHost::daemonLoop(Tick scan_interval)
+{
+    auto &eq = kernel_.sim().events();
+    const auto &osk_params = kernel_.params();
+    // The final iteration after stopDaemon() still sweeps once, so
+    // requests published while the stop raced in are not stranded.
+    bool last_sweep = false;
+    while (!last_sweep) {
+        last_sweep = !daemonRunning_;
+        // User-mode scan over the whole slot array.
+        co_await sim::Delay(eq, ticks::us(2));
+        bool any = false;
+        for (std::size_t i = 0; i < area_.slotCount(); ++i) {
+            SyscallSlot &slot = area_.slot(static_cast<std::uint32_t>(i));
+            if (!slot.beginProcessing())
+                continue;
+            any = true;
+            // Thunking into the kernel costs a user/kernel crossing
+            // beyond the syscall itself (Section IX, related work).
+            co_await sim::Delay(eq, osk_params.syscallBase);
+            const std::int64_t ret = co_await kernel_.doSyscall(
+                proc_, slot.sysno(), slot.args());
+            const bool wake = slot.blocking() &&
+                              slot.waitMode() == WaitMode::HaltResume;
+            slot.complete(ret);
+            ++processed_;
+            if (wake)
+                gpu_.resumeWave(slot.hwWaveSlot());
+        }
+        ++batches_;
+        if (!any && !last_sweep)
+            co_await sim::Delay(eq, scan_interval);
+    }
+}
+
+} // namespace genesys::core

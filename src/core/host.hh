@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CPU-side GENESYS runtime.
+ *
+ * Implements the paper's CPU pipeline (Section VI): the GPU interrupt
+ * arrives at a CPU core; the interrupt handler optionally coalesces
+ * requests within a time window (bounded by a maximum batch size) and
+ * enqueues a kernel task on Linux's work-queue; an OS worker thread
+ * later scans the 64 syscall-area slots of each signalled wavefront,
+ * atomically switches ready requests to processing, borrows the
+ * context of the CPU process that launched the GPU kernel, executes
+ * the system call, writes the result back, and wakes the requester
+ * (polling-visible store or halt-resume message).
+ *
+ * An alternate prior-work backend — a user-mode polling daemon that
+ * burns a CPU core scanning the slot array [27] — is provided for the
+ * ablation study.
+ */
+
+#ifndef GENESYS_CORE_HOST_HH
+#define GENESYS_CORE_HOST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/params.hh"
+#include "core/slot.hh"
+#include "gpu/gpu.hh"
+#include "osk/process.hh"
+#include "support/stats.hh"
+
+namespace genesys::core
+{
+
+class GenesysHost
+{
+  public:
+    GenesysHost(osk::Kernel &kernel, gpu::GpuDevice &gpu,
+                SyscallArea &area, osk::Process &proc,
+                const GenesysParams &params);
+
+    /**
+     * Runtime-configurable coalescing, mirroring the paper's sysfs
+     * interface: @p window is how long the interrupt handler waits for
+     * more requests; @p max_batch bounds a coalesced bundle.
+     */
+    void setCoalescing(Tick window, std::uint32_t max_batch);
+
+    Tick coalesceWindow() const { return params_.coalesceWindow; }
+    std::uint32_t coalesceMaxBatch() const
+    {
+        return params_.coalesceMaxBatch;
+    }
+
+    /** GPU interrupt entry point (registered as the device sink). */
+    void onGpuInterrupt(std::uint32_t hw_wave_slot);
+
+    /**
+     * Block until every in-flight GPU system call has completed — the
+     * paper's answer to the asynchronous-completion hazard of
+     * Section IX (a non-blocking syscall may outlive the GPU kernel
+     * and even the launching process).
+     */
+    sim::Task<> drain();
+
+    /**
+     * Start the prior-work user-mode service daemon instead of the
+     * interrupt path: a pinned thread that scans all slots every
+     * @p scan_interval. Call stopDaemon() to end the simulation.
+     */
+    void startPollingDaemon(Tick scan_interval);
+    void stopDaemon() { daemonRunning_ = false; }
+    bool daemonMode() const { return daemonRunning_; }
+
+    // --- stats -------------------------------------------------------
+    std::uint64_t interrupts() const { return interrupts_; }
+    std::uint64_t batches() const { return batches_; }
+    std::uint64_t processedSyscalls() const { return processed_; }
+    const stats::Distribution &batchSizes() const { return batchSizes_; }
+    std::uint64_t inFlight() const { return inFlight_; }
+
+  private:
+    void flushPendingBatch();
+    sim::Task<> interruptArrival(std::uint32_t hw_wave_slot);
+    sim::Task<> serviceBatch(std::vector<std::uint32_t> waves);
+    /** Process every ready slot of @p hw_wave_slot; @return count. */
+    sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot);
+    sim::Task<> daemonLoop(Tick scan_interval);
+
+    osk::Kernel &kernel_;
+    gpu::GpuDevice &gpu_;
+    SyscallArea &area_;
+    osk::Process &proc_;
+    GenesysParams params_;
+
+    std::vector<std::uint32_t> pendingBatch_;
+    sim::EventId batchTimer_ = 0;
+    bool batchTimerArmed_ = false;
+
+    bool daemonRunning_ = false;
+
+    std::uint64_t interrupts_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t processed_ = 0;
+    std::uint64_t inFlight_ = 0;
+    stats::Distribution batchSizes_{"genesys.batch_size"};
+    std::unique_ptr<sim::WaitQueue> drainWait_;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_HOST_HH

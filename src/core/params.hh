@@ -1,0 +1,47 @@
+/**
+ * @file
+ * GENESYS-specific parameters: the syscall area geometry and the
+ * invocation/communication knobs of the design space (Section V).
+ */
+
+#ifndef GENESYS_CORE_PARAMS_HH
+#define GENESYS_CORE_PARAMS_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace genesys::core
+{
+
+struct GenesysParams
+{
+    /// Virtual base of the preallocated shared syscall area. Only used
+    /// for cache-line modeling; slots are one line each (Section VI).
+    std::uint64_t syscallAreaBase = 0x2000'0000ull;
+    /// One slot per active hardware work-item, 64 bytes each
+    /// ("our system uses 64 bytes per slot, totaling 1.25 MBs").
+    std::uint32_t slotBytes = 64;
+
+    /// GPU-side polling cadence while waiting for slot completion.
+    std::uint64_t pollIntervalCycles = 200;
+
+    /// Per-lane slot-populate cost beyond the atomics (argument stores
+    /// pipeline across the wavefront's lanes).
+    Tick perLanePopulate = ticks::ns(15);
+
+    /// Software L1 flush before consumer (write-like) system calls so
+    /// GPU-produced buffer data is visible to the CPU (Section VI).
+    Tick l1FlushCost = ticks::ns(900);
+
+    /// Interrupt coalescing (Section V-B): the handler waits up to
+    /// coalesceWindow for more requests, bounded by coalesceMaxBatch.
+    /// window == 0 disables coalescing. Configured at runtime through
+    /// the sysfs-style interface GenesysHost exposes.
+    Tick coalesceWindow = 0;
+    std::uint32_t coalesceMaxBatch = 1;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_PARAMS_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SyscallSlot / SyscallArea implementation.
+ */
+
+#include "slot.hh"
+
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+
+const char *
+slotStateName(SlotState s)
+{
+    switch (s) {
+      case SlotState::Free:
+        return "free";
+      case SlotState::Populating:
+        return "populating";
+      case SlotState::Ready:
+        return "ready";
+      case SlotState::Processing:
+        return "processing";
+      case SlotState::Finished:
+        return "finished";
+    }
+    return "?";
+}
+
+bool
+SyscallSlot::claim()
+{
+    if (state_ != SlotState::Free)
+        return false;
+    state_ = SlotState::Populating;
+    return true;
+}
+
+void
+SyscallSlot::publish(int sysno, const osk::SyscallArgs &args,
+                     bool blocking, WaitMode wait_mode,
+                     std::uint32_t hw_wave_slot)
+{
+    GENESYS_ASSERT(state_ == SlotState::Populating,
+                   "publish from state %s", slotStateName(state_));
+    sysno_ = sysno;
+    args_ = args;
+    blocking_ = blocking;
+    waitMode_ = wait_mode;
+    hwWaveSlot_ = hw_wave_slot;
+    state_ = SlotState::Ready;
+}
+
+bool
+SyscallSlot::beginProcessing()
+{
+    if (state_ != SlotState::Ready)
+        return false;
+    state_ = SlotState::Processing;
+    return true;
+}
+
+void
+SyscallSlot::complete(std::int64_t result)
+{
+    GENESYS_ASSERT(state_ == SlotState::Processing,
+                   "complete from state %s", slotStateName(state_));
+    result_ = result;
+    state_ = blocking_ ? SlotState::Finished : SlotState::Free;
+}
+
+std::int64_t
+SyscallSlot::consume()
+{
+    GENESYS_ASSERT(state_ == SlotState::Finished,
+                   "consume from state %s", slotStateName(state_));
+    state_ = SlotState::Free;
+    return result_;
+}
+
+SyscallArea::SyscallArea(const gpu::GpuConfig &gpu_config,
+                         const GenesysParams &params)
+    : params_(params), wavefrontSize_(gpu_config.wavefrontSize),
+      slots_(gpu_config.activeWorkItemSlots())
+{}
+
+SyscallSlot &
+SyscallArea::slot(std::uint32_t hw_item_slot)
+{
+    GENESYS_ASSERT(hw_item_slot < slots_.size(), "slot %u out of range",
+                   hw_item_slot);
+    return slots_[hw_item_slot];
+}
+
+const SyscallSlot &
+SyscallArea::slot(std::uint32_t hw_item_slot) const
+{
+    GENESYS_ASSERT(hw_item_slot < slots_.size(), "slot %u out of range",
+                   hw_item_slot);
+    return slots_[hw_item_slot];
+}
+
+mem::Addr
+SyscallArea::slotAddr(std::uint32_t hw_item_slot) const
+{
+    return params_.syscallAreaBase +
+           std::uint64_t(hw_item_slot) * params_.slotBytes;
+}
+
+} // namespace genesys::core

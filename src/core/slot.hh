@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The syscall area and its per-work-item slots.
+ *
+ * Figure 5 of the paper gives the slot layout: requested syscall
+ * number, request state, up to six arguments (the argument field is
+ * re-purposed for the return value), and padding to one cache line to
+ * avoid false sharing and to let single-line atomics bypass the GPU's
+ * non-coherent L1 (Section VI).
+ *
+ * Figure 6 gives the slot state machine:
+ *
+ *   free -> populating -> ready -> processing -> finished -> free
+ *                                       |  (non-blocking)
+ *                                       +-----------------> free
+ *
+ * GPU side drives free->populating->ready (green in the figure); the
+ * CPU drives ready->processing->finished/free (blue); the GPU consumes
+ * finished->free for blocking calls.
+ */
+
+#ifndef GENESYS_CORE_SLOT_HH
+#define GENESYS_CORE_SLOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hh"
+#include "gpu/gpu.hh"
+#include "osk/syscalls.hh"
+#include "support/types.hh"
+
+namespace genesys::core
+{
+
+enum class SlotState : std::uint8_t
+{
+    Free,
+    Populating,
+    Ready,
+    Processing,
+    Finished,
+};
+
+const char *slotStateName(SlotState s);
+
+/** How a waiting GPU requester is woken (Section V-C). */
+enum class WaitMode : std::uint8_t
+{
+    Polling,
+    HaltResume,
+};
+
+/**
+ * One 64-byte syscall-area slot. The simulator stores it unpacked;
+ * the modeled memory footprint is params.slotBytes.
+ */
+class SyscallSlot
+{
+  public:
+    SlotState state() const { return state_; }
+
+    /** GPU: atomically claim a free slot. @return false if not free. */
+    bool claim();
+
+    /** GPU: fill arguments and publish the request. */
+    void publish(int sysno, const osk::SyscallArgs &args, bool blocking,
+                 WaitMode wait_mode, std::uint32_t hw_wave_slot);
+
+    /** CPU: atomically take a ready request for processing.
+     *  @return false if the slot is not ready. */
+    bool beginProcessing();
+
+    /**
+     * CPU: deposit the result. Blocking requests go to Finished and
+     * await GPU consumption; non-blocking requests free immediately.
+     */
+    void complete(std::int64_t result);
+
+    /** GPU: read the result of a finished blocking call, freeing it. */
+    std::int64_t consume();
+
+    bool ready() const { return state_ == SlotState::Ready; }
+    bool finished() const { return state_ == SlotState::Finished; }
+    bool blocking() const { return blocking_; }
+    WaitMode waitMode() const { return waitMode_; }
+    int sysno() const { return sysno_; }
+    const osk::SyscallArgs &args() const { return args_; }
+    std::uint32_t hwWaveSlot() const { return hwWaveSlot_; }
+
+  private:
+    SlotState state_ = SlotState::Free;
+    bool blocking_ = true;
+    WaitMode waitMode_ = WaitMode::Polling;
+    int sysno_ = 0;
+    osk::SyscallArgs args_;
+    std::int64_t result_ = 0;
+    std::uint32_t hwWaveSlot_ = 0;
+};
+
+/**
+ * The preallocated shared-memory syscall area: one slot per active
+ * hardware work-item ("1.25 MBs" on the paper's platform).
+ */
+class SyscallArea
+{
+  public:
+    SyscallArea(const gpu::GpuConfig &gpu_config,
+                const GenesysParams &params);
+
+    /** Slot for a hardware work-item (wave slot x 64 + lane). */
+    SyscallSlot &slot(std::uint32_t hw_item_slot);
+    const SyscallSlot &slot(std::uint32_t hw_item_slot) const;
+
+    /** Modeled address of the slot's cache line. */
+    mem::Addr slotAddr(std::uint32_t hw_item_slot) const;
+
+    std::size_t slotCount() const { return slots_.size(); }
+    std::uint64_t areaBytes() const
+    {
+        return slots_.size() * params_.slotBytes;
+    }
+
+    /** Slots of one wavefront: [first, first + wavefrontSize). */
+    std::uint32_t
+    firstItemSlotOfWave(std::uint32_t hw_wave_slot) const
+    {
+        return hw_wave_slot * wavefrontSize_;
+    }
+    std::uint32_t wavefrontSize() const { return wavefrontSize_; }
+
+  private:
+    GenesysParams params_;
+    std::uint32_t wavefrontSize_;
+    std::vector<SyscallSlot> slots_;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_SLOT_HH

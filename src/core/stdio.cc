@@ -1,0 +1,264 @@
+/**
+ * @file
+ * gstdio implementation.
+ *
+ * Streams are owned by single-wavefront work-groups (wgSize <= 64):
+ * legacy single-threaded code maps onto one wavefront, and uniform
+ * control flow across a multi-wave group would otherwise have to be
+ * re-broadcast around every buffered refill.
+ */
+
+#include "stdio.hh"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "osk/file.hh"
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+
+namespace
+{
+
+void
+checkSingleWave(gpu::WavefrontCtx &ctx)
+{
+    GENESYS_ASSERT(ctx.group().waves == 1,
+                   "gstdio streams require single-wavefront "
+                   "work-groups (wgSize <= 64)");
+}
+
+struct ModeBits
+{
+    int flags = -1;
+    bool readable = false;
+    bool writable = false;
+    bool append = false;
+};
+
+ModeBits
+parseMode(const char *mode)
+{
+    ModeBits bits;
+    if (mode == nullptr)
+        return bits;
+    const std::string m(mode);
+    if (m == "r") {
+        bits = {osk::O_RDONLY, true, false, false};
+    } else if (m == "w") {
+        bits = {osk::O_WRONLY | osk::O_CREAT | osk::O_TRUNC, false,
+                true, false};
+    } else if (m == "a") {
+        bits = {osk::O_WRONLY | osk::O_CREAT | osk::O_APPEND, false,
+                true, true};
+    } else if (m == "r+") {
+        bits = {osk::O_RDWR, true, true, false};
+    } else if (m == "w+") {
+        bits = {osk::O_RDWR | osk::O_CREAT | osk::O_TRUNC, true, true,
+                false};
+    }
+    return bits;
+}
+
+} // namespace
+
+sim::Task<GpuFile *>
+GpuStdio::fopen(gpu::WavefrontCtx &ctx, const char *path,
+                const char *mode)
+{
+    checkSingleWave(ctx);
+    const ModeBits bits = parseMode(mode);
+    if (bits.flags < 0)
+        co_return nullptr;
+    const auto fd = co_await sys_.open(ctx, inv_, path, bits.flags);
+    if (fd < 0)
+        co_return nullptr;
+    auto file = std::make_unique<GpuFile>();
+    file->fd_ = static_cast<int>(fd);
+    file->readable_ = bits.readable;
+    file->writable_ = bits.writable;
+    file->rdBuf_.resize(bufferBytes_);
+    file->wrBuf_.reserve(bufferBytes_);
+    if (bits.append)
+        file->wrOffset_ = std::uint64_t(-1); // sentinel: use write()
+    GpuFile *raw = file.get();
+    streams_.push_back(std::move(file));
+    co_return raw;
+}
+
+sim::Task<>
+GpuStdio::refill(gpu::WavefrontCtx &ctx, GpuFile *file)
+{
+    const auto n = co_await sys_.pread(
+        ctx, inv_, file->fd_, file->rdBuf_.data(),
+        file->rdBuf_.size(),
+        static_cast<std::int64_t>(file->offset_));
+    file->rdPos_ = 0;
+    file->rdLen_ = n > 0 ? static_cast<std::size_t>(n) : 0;
+    file->offset_ += file->rdLen_;
+    if (n <= 0)
+        file->eof_ = true;
+}
+
+sim::Task<std::size_t>
+GpuStdio::fread(gpu::WavefrontCtx &ctx, GpuFile *file, void *dst,
+                std::size_t size)
+{
+    checkSingleWave(ctx);
+    if (file == nullptr || !file->readable_)
+        co_return 0;
+    auto *out = static_cast<char *>(dst);
+    std::size_t done = 0;
+    while (done < size) {
+        if (file->rdPos_ >= file->rdLen_) {
+            if (file->eof_)
+                break;
+            co_await refill(ctx, file);
+            continue;
+        }
+        const std::size_t n = std::min(size - done,
+                                       file->rdLen_ - file->rdPos_);
+        if (out != nullptr)
+            std::memcpy(out + done, file->rdBuf_.data() + file->rdPos_,
+                        n);
+        file->rdPos_ += n;
+        done += n;
+    }
+    co_return done;
+}
+
+sim::Task<std::size_t>
+GpuStdio::fwrite(gpu::WavefrontCtx &ctx, GpuFile *file,
+                 const void *src, std::size_t size)
+{
+    checkSingleWave(ctx);
+    if (file == nullptr || !file->writable_ || src == nullptr)
+        co_return 0;
+    const auto *in = static_cast<const char *>(src);
+    std::size_t done = 0;
+    while (done < size) {
+        const std::size_t room = bufferBytes_ - file->wrBuf_.size();
+        const std::size_t n = std::min(size - done, room);
+        file->wrBuf_.insert(file->wrBuf_.end(), in + done,
+                            in + done + n);
+        done += n;
+        if (file->wrBuf_.size() >= bufferBytes_)
+            co_await fflush(ctx, file);
+    }
+    co_return done;
+}
+
+sim::Task<int>
+GpuStdio::fgetc(gpu::WavefrontCtx &ctx, GpuFile *file)
+{
+    checkSingleWave(ctx);
+    if (file == nullptr || !file->readable_)
+        co_return -1;
+    if (file->rdPos_ >= file->rdLen_) {
+        if (file->eof_)
+            co_return -1;
+        co_await refill(ctx, file);
+        if (file->rdPos_ >= file->rdLen_)
+            co_return -1;
+    }
+    co_return static_cast<unsigned char>(file->rdBuf_[file->rdPos_++]);
+}
+
+sim::Task<std::optional<std::string>>
+GpuStdio::fgets(gpu::WavefrontCtx &ctx, GpuFile *file)
+{
+    checkSingleWave(ctx);
+    std::string line;
+    for (;;) {
+        const int c = co_await fgetc(ctx, file);
+        if (c < 0) {
+            if (line.empty())
+                co_return std::nullopt;
+            co_return line;
+        }
+        if (c == '\n')
+            co_return line;
+        line.push_back(static_cast<char>(c));
+    }
+}
+
+sim::Task<std::size_t>
+GpuStdio::fputs(gpu::WavefrontCtx &ctx, GpuFile *file,
+                const char *text)
+{
+    if (text == nullptr)
+        co_return 0;
+    co_return co_await fwrite(ctx, file, text, std::strlen(text));
+}
+
+sim::Task<std::size_t>
+GpuStdio::writeString(gpu::WavefrontCtx &ctx, GpuFile *file,
+                      std::string text)
+{
+    co_return co_await fwrite(ctx, file, text.data(), text.size());
+}
+
+sim::Task<std::size_t>
+GpuStdio::fprintf(gpu::WavefrontCtx &ctx, GpuFile *file,
+                  const char *fmt, ...)
+{
+    // A varargs function cannot be a coroutine: format eagerly, then
+    // hand the owned string to the coroutine by value.
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string text = logging::vformat(fmt, ap);
+    va_end(ap);
+    return writeString(ctx, file, std::move(text));
+}
+
+sim::Task<int>
+GpuStdio::fflush(gpu::WavefrontCtx &ctx, GpuFile *file)
+{
+    checkSingleWave(ctx);
+    if (file == nullptr)
+        co_return -EBADF;
+    if (file->wrBuf_.empty())
+        co_return 0;
+    std::int64_t n = 0;
+    if (file->wrOffset_ == std::uint64_t(-1)) {
+        // Append streams use write(): O_APPEND positions the kernel.
+        n = co_await sys_.write(ctx, inv_, file->fd_,
+                                file->wrBuf_.data(),
+                                file->wrBuf_.size());
+    } else {
+        n = co_await sys_.pwrite(
+            ctx, inv_, file->fd_, file->wrBuf_.data(),
+            file->wrBuf_.size(),
+            static_cast<std::int64_t>(file->wrOffset_));
+        if (n > 0)
+            file->wrOffset_ += static_cast<std::uint64_t>(n);
+    }
+    if (n < 0)
+        co_return static_cast<int>(n);
+    file->wrBuf_.clear();
+    co_return 0;
+}
+
+sim::Task<int>
+GpuStdio::fclose(gpu::WavefrontCtx &ctx, GpuFile *file)
+{
+    checkSingleWave(ctx);
+    if (file == nullptr)
+        co_return -EBADF;
+    const int flush_rc = co_await fflush(ctx, file);
+    const auto close_rc =
+        co_await sys_.close(ctx, inv_, file->fd_);
+    for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+        if (it->get() == file) {
+            streams_.erase(it);
+            break;
+        }
+    }
+    co_return flush_rc != 0 ? flush_rc : static_cast<int>(close_rc);
+}
+
+} // namespace genesys::core

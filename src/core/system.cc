@@ -1,0 +1,88 @@
+/**
+ * @file
+ * System façade implementation.
+ */
+
+#include "system.hh"
+
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+
+System::System(const SystemConfig &config)
+    : config_(config), sim_(std::make_unique<sim::Sim>(config.seed)),
+      memBus_(std::make_unique<mem::MemBus>(sim_->events(),
+                                            config.memBus)),
+      kernel_(std::make_unique<osk::Kernel>(*sim_, config.kernel)),
+      proc_(&kernel_->createProcess()),
+      gpu_(std::make_unique<gpu::GpuDevice>(*sim_, config.gpu,
+                                            memBus_.get())),
+      area_(std::make_unique<SyscallArea>(config.gpu, config.genesys)),
+      host_(std::make_unique<GenesysHost>(*kernel_, *gpu_, *area_,
+                                          *proc_, config.genesys)),
+      client_(std::make_unique<GpuSyscalls>(*gpu_, *area_,
+                                            config.genesys))
+{}
+
+sim::Task<>
+System::launchDrainTask(gpu::KernelLaunch launch)
+{
+    co_await gpu_->launch(std::move(launch));
+    co_await host_->drain();
+}
+
+std::string
+System::statsReport() const
+{
+    std::string out;
+    auto line = [&out](const char *name, double v) {
+        out += logging::format("%-40s %.6g\n", name, v);
+    };
+    line("gpu.kernels_launched",
+         static_cast<double>(gpu_->launchedKernels()));
+    line("gpu.workgroups_launched",
+         static_cast<double>(gpu_->launchedWorkGroups()));
+    line("gpu.wavefronts_launched",
+         static_cast<double>(gpu_->launchedWavefronts()));
+    line("gpu.l2_hits", static_cast<double>(gpu_->l2().hits()));
+    line("gpu.l2_misses", static_cast<double>(gpu_->l2().misses()));
+    line("genesys.requests_issued",
+         static_cast<double>(client_->issuedRequests()));
+    line("genesys.interrupts",
+         static_cast<double>(host_->interrupts()));
+    line("genesys.batches", static_cast<double>(host_->batches()));
+    line("genesys.syscalls_processed",
+         static_cast<double>(host_->processedSyscalls()));
+    line("genesys.batch_size_mean", host_->batchSizes().mean());
+    line("mem.gpu_bytes",
+         static_cast<double>(memBus_->bytesMoved("gpu")));
+    line("mem.cpu_bytes",
+         static_cast<double>(memBus_->bytesMoved("cpu")));
+    line("cpu.utilization",
+         kernel_->cpus().utilization(0, sim_->now()));
+    line("osk.workqueue_tasks",
+         static_cast<double>(kernel_->workqueue().executedTasks()));
+    line("sim.events_executed",
+         static_cast<double>(sim_->events().executedEvents()));
+    line("sim.final_tick", static_cast<double>(sim_->now()));
+    return out;
+}
+
+std::string
+System::platformString() const
+{
+    return logging::format(
+        "cpu: %u cores | gpu: %u CUs x %u waves x %u lanes @ %.0f MHz | "
+        "gpu L2: %llu KiB | mem: %.1f GB/s | syscall area: %llu KiB "
+        "(%zu slots x %u B)",
+        config_.kernel.cpuCores, config_.gpu.numCus,
+        config_.gpu.maxWavesPerCu, config_.gpu.wavefrontSize,
+        config_.gpu.clockHz / 1e6,
+        static_cast<unsigned long long>(config_.gpu.l2Bytes / 1024),
+        config_.memBus.bytesPerSec / 1e9,
+        static_cast<unsigned long long>(area_->areaBytes() / 1024),
+        area_->slotCount(), config_.genesys.slotBytes);
+}
+
+} // namespace genesys::core

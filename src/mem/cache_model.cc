@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CacheModel implementation.
+ */
+
+#include "cache_model.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace genesys::mem
+{
+
+CacheModel::CacheModel(const CacheParams &params)
+    : lineBytes_(params.lineBytes), assoc_(params.associativity)
+{
+    GENESYS_ASSERT(params.lineBytes > 0 && params.associativity > 0,
+                   "bad cache geometry");
+    const std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    GENESYS_ASSERT(lines >= assoc_, "cache smaller than one set");
+    numSets_ = lines / assoc_;
+    sets_.resize(numSets_);
+}
+
+bool
+CacheModel::access(Addr addr)
+{
+    const Addr line = addr / lineBytes_;
+    Set &set = sets_[setIndex(line)];
+    auto it = std::find(set.lru.begin(), set.lru.end(), line);
+    if (it != set.lru.end()) {
+        set.lru.splice(set.lru.begin(), set.lru, it);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    set.lru.push_front(line);
+    if (set.lru.size() > assoc_)
+        set.lru.pop_back();
+    return false;
+}
+
+void
+CacheModel::flushAll()
+{
+    for (Set &s : sets_)
+        s.lru.clear();
+}
+
+void
+CacheModel::invalidate(Addr addr)
+{
+    const Addr line = addr / lineBytes_;
+    Set &set = sets_[setIndex(line)];
+    set.lru.remove(line);
+}
+
+} // namespace genesys::mem

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * MemBus implementation.
+ */
+
+#include "mem_bus.hh"
+
+namespace genesys::mem
+{
+
+sim::Task<>
+MemBus::transfer(const std::string &agent, std::uint64_t bytes)
+{
+    co_await gate_.acquire();
+    const Tick busy =
+        params_.requestOverhead + transferTicks(bytes, params_.bytesPerSec);
+    co_await sim::Delay(eq_, busy);
+    byCounts_[agent] += bytes;
+    gate_.release();
+}
+
+std::uint64_t
+MemBus::bytesMoved(const std::string &agent) const
+{
+    auto it = byCounts_.find(agent);
+    return it == byCounts_.end() ? 0 : it->second;
+}
+
+double
+MemBus::throughput(const std::string &agent, Tick from, Tick to) const
+{
+    if (to <= from)
+        return 0.0;
+    const double secs = ticks::toSec(to - from);
+    return static_cast<double>(bytesMoved(agent)) / secs;
+}
+
+} // namespace genesys::mem

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * BlockDevice implementation.
+ */
+
+#include "block_device.hh"
+
+#include <algorithm>
+
+namespace genesys::osk
+{
+
+sim::Task<>
+BlockDevice::read(std::uint64_t bytes)
+{
+    // A single stream issues its sub-requests back to back (readahead
+    // keeps at most one in flight), so one reader is latency-bound.
+    std::uint64_t remaining = bytes;
+    while (remaining > 0) {
+        const std::uint64_t chunk =
+            std::min(remaining, params_.maxRequestBytes);
+        co_await channels_.acquire();
+        // Access phase: requests from different streams overlap here.
+        co_await sim::Delay(eq_, params_.accessLatency);
+        // Transfer phase: shared device interface bandwidth.
+        co_await band_.acquire();
+        co_await sim::Delay(eq_,
+                            transferTicks(chunk, params_.bytesPerSec));
+        band_.release();
+        channels_.release();
+        bytesRead_ += chunk;
+        ++requests_;
+        remaining -= chunk;
+    }
+}
+
+} // namespace genesys::osk

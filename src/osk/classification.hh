@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Census of Linux system calls classified by GPU implementability.
+ *
+ * Section IV of the paper classifies all of Linux's 300+ system calls
+ * into three groups:
+ *  1. readily implementable          (~79%)
+ *  2. needs GPU hardware changes     (~13%)  -- Table II
+ *  3. requires extensive OS surgery   (~8%)
+ *
+ * This module encodes the full census (Linux 4.11-era x86-64 table)
+ * with a reason string for every non-readily entry, and aggregation
+ * helpers used by the Table II reproduction and tests.
+ */
+
+#ifndef GENESYS_OSK_CLASSIFICATION_HH
+#define GENESYS_OSK_CLASSIFICATION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace genesys::osk
+{
+
+enum class SyscallClass
+{
+    ReadilyImplementable,
+    NeedsHardwareChanges,
+    ExtensiveModification,
+};
+
+/** Higher-level grouping used by Table II's "Type" column. */
+struct ClassifiedSyscall
+{
+    std::string name;
+    SyscallClass cls;
+    std::string type;   ///< e.g. "signals", "thread scheduling"
+    std::string reason; ///< why it is not readily implementable
+};
+
+/** The full census; stable order. */
+const std::vector<ClassifiedSyscall> &syscallCensus();
+
+struct CensusCounts
+{
+    std::size_t total = 0;
+    std::size_t readily = 0;
+    std::size_t needsHw = 0;
+    std::size_t extensive = 0;
+
+    double
+    fraction(std::size_t part) const
+    {
+        return total == 0 ? 0.0
+                          : static_cast<double>(part) /
+                                static_cast<double>(total);
+    }
+};
+
+CensusCounts censusCounts();
+
+/** Entries in a class, for printing Table II. */
+std::vector<ClassifiedSyscall> entriesOf(SyscallClass cls);
+
+const char *className(SyscallClass cls);
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_CLASSIFICATION_HH

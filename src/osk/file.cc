@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FdTable implementation.
+ */
+
+#include "file.hh"
+
+namespace genesys::osk
+{
+
+int
+FdTable::allocate(std::shared_ptr<OpenFile> file)
+{
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        if (table_[i] == nullptr) {
+            table_[i] = std::move(file);
+            return static_cast<int>(i);
+        }
+    }
+    table_.push_back(std::move(file));
+    return static_cast<int>(table_.size() - 1);
+}
+
+void
+FdTable::installAt(int fd, std::shared_ptr<OpenFile> file)
+{
+    if (static_cast<std::size_t>(fd) >= table_.size())
+        table_.resize(static_cast<std::size_t>(fd) + 1);
+    table_[static_cast<std::size_t>(fd)] = std::move(file);
+}
+
+OpenFile *
+FdTable::get(int fd) const
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= table_.size())
+        return nullptr;
+    return table_[static_cast<std::size_t>(fd)].get();
+}
+
+std::shared_ptr<OpenFile>
+FdTable::getShared(int fd) const
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= table_.size())
+        return nullptr;
+    return table_[static_cast<std::size_t>(fd)];
+}
+
+bool
+FdTable::close(int fd)
+{
+    if (fd < 0 || static_cast<std::size_t>(fd) >= table_.size() ||
+        table_[static_cast<std::size_t>(fd)] == nullptr) {
+        return false;
+    }
+    table_[static_cast<std::size_t>(fd)] = nullptr;
+    return true;
+}
+
+std::size_t
+FdTable::openCount() const
+{
+    std::size_t n = 0;
+    for (const auto &f : table_)
+        n += (f != nullptr);
+    return n;
+}
+
+} // namespace genesys::osk

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * MemoryManager implementation.
+ */
+
+#include "mm.hh"
+
+#include <cerrno>
+
+#include "osk/vfs.hh"
+#include "osk/workqueue.hh"
+#include "sim/sync.hh"
+#include "support/logging.hh"
+
+namespace genesys::osk
+{
+
+namespace
+{
+
+std::uint64_t
+pagesFor(std::uint64_t bytes)
+{
+    return (bytes + kPageSize - 1) / kPageSize;
+}
+
+} // namespace
+
+MemoryManager::MemoryManager(sim::EventQueue &eq, const OskParams &params,
+                             std::uint64_t phys_limit_bytes)
+    : eq_(eq), params_(params),
+      faultLock_(std::make_unique<sim::Semaphore>(eq, 1)),
+      physLimit_(pagesFor(phys_limit_bytes))
+{}
+
+Addr
+MemoryManager::mmapAnon(std::uint64_t length)
+{
+    if (length == 0)
+        return 0;
+    Vma vma;
+    vma.base = nextBase_;
+    vma.pages = pagesFor(length);
+    vma.state.assign(vma.pages, PageState::Absent);
+    nextBase_ += (vma.pages + 16) * kPageSize; // guard gap
+    const Addr base = vma.base;
+    vmas_.emplace(base, std::move(vma));
+    return base;
+}
+
+Addr
+MemoryManager::mmapDevice(CharDevice *dev)
+{
+    if (dev == nullptr)
+        return 0;
+    std::uint64_t length = 0;
+    std::uint8_t *backing = dev->mmapMemory(length);
+    if (backing == nullptr || length == 0)
+        return 0;
+    Vma vma;
+    vma.base = nextBase_;
+    vma.pages = pagesFor(length);
+    vma.device = dev;
+    vma.backing = backing;
+    // Device memory is pinned: counts as resident immediately.
+    vma.state.assign(vma.pages, PageState::Present);
+    addRss(vma.pages);
+    nextBase_ += (vma.pages + 16) * kPageSize;
+    const Addr base = vma.base;
+    vmas_.emplace(base, std::move(vma));
+    return base;
+}
+
+bool
+MemoryManager::munmap(Addr base, std::uint64_t length)
+{
+    auto it = vmas_.find(base);
+    if (it == vmas_.end())
+        return false;
+    const Vma &vma = it->second;
+    if (length != 0 && pagesFor(length) != vma.pages)
+        return false; // partial unmap unsupported (workloads never do it)
+    for (PageState s : vma.state) {
+        if (s == PageState::Present) {
+            GENESYS_ASSERT(rssPages_ > 0, "rss underflow");
+            --rssPages_;
+        } else if (s == PageState::Swapped) {
+            --swappedPages_;
+        }
+    }
+    vmas_.erase(it);
+    return true;
+}
+
+MemoryManager::Vma *
+MemoryManager::find(Addr addr)
+{
+    auto it = vmas_.upper_bound(addr);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    Vma &vma = it->second;
+    if (addr >= vma.base && addr < vma.base + vma.pages * kPageSize)
+        return &vma;
+    return nullptr;
+}
+
+const MemoryManager::Vma *
+MemoryManager::find(Addr addr) const
+{
+    return const_cast<MemoryManager *>(this)->find(addr);
+}
+
+int
+MemoryManager::madvise(Addr addr, std::uint64_t length, int advice)
+{
+    lastReleased_ = 0;
+    if (advice != MADV_DONTNEED_ && advice != MADV_WILLNEED_)
+        return -EINVAL;
+    Vma *vma = find(addr);
+    if (vma == nullptr || addr % kPageSize != 0)
+        return -EINVAL;
+    const std::uint64_t first = (addr - vma->base) / kPageSize;
+    const std::uint64_t count =
+        std::min(pagesFor(length), vma->pages - first);
+    if (advice == MADV_WILLNEED_)
+        return 0; // hint accepted; prefetch modeling not needed
+    if (vma->device != nullptr)
+        return -EINVAL; // cannot drop pinned device pages
+    std::uint64_t released = 0;
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        if (vma->state[i] == PageState::Present) {
+            vma->state[i] = PageState::Absent;
+            --rssPages_;
+            ++released;
+        } else if (vma->state[i] == PageState::Swapped) {
+            vma->state[i] = PageState::Absent;
+            --swappedPages_;
+        }
+    }
+    lastReleased_ = released;
+    return 0;
+}
+
+Tick
+MemoryManager::evictToFit()
+{
+    Tick cost = 0;
+    if (rssPages_ <= physLimit_)
+        return cost;
+    // Evict from the lowest-addressed VMAs first (deterministic victim
+    // selection; miniamr's arena behaves like a FIFO of cold blocks).
+    for (auto &[base, vma] : vmas_) {
+        if (rssPages_ <= physLimit_)
+            break;
+        if (vma.device != nullptr)
+            continue; // pinned
+        for (auto &s : vma.state) {
+            if (rssPages_ <= physLimit_)
+                break;
+            if (s == PageState::Present) {
+                s = PageState::Swapped;
+                --rssPages_;
+                ++swappedPages_;
+                ++stats_.swapOuts;
+                cost += params_.swapOutPerPage;
+            }
+        }
+    }
+    return cost;
+}
+
+Tick
+MemoryManager::touchCost(Addr addr, std::uint64_t length)
+{
+    Vma *vma = find(addr);
+    if (vma == nullptr)
+        panic("touch of unmapped address %llx",
+              static_cast<unsigned long long>(addr));
+    const std::uint64_t first = (addr - vma->base) / kPageSize;
+    const std::uint64_t last_page =
+        (addr + (length == 0 ? 0 : length - 1) - vma->base) / kPageSize;
+    GENESYS_ASSERT(last_page < vma->pages, "touch beyond mapping");
+    Tick cost = 0;
+    for (std::uint64_t i = first; i <= last_page; ++i) {
+        switch (vma->state[i]) {
+          case PageState::Present:
+            break;
+          case PageState::Absent:
+            vma->state[i] = PageState::Present;
+            addRss(1);
+            ++stats_.minorFaults;
+            cost += params_.minorFault;
+            cost += evictToFit();
+            break;
+          case PageState::Swapped:
+            vma->state[i] = PageState::Present;
+            --swappedPages_;
+            addRss(1);
+            ++stats_.majorFaults;
+            cost += params_.swapInPerPage;
+            stats_.swapStall += params_.swapInPerPage;
+            cost += evictToFit();
+            break;
+        }
+    }
+    return cost;
+}
+
+sim::Task<>
+MemoryManager::touch(Addr addr, std::uint64_t length)
+{
+    co_await faultLock_->acquire();
+    const Tick cost = touchCost(addr, length);
+    if (cost > 0) {
+        if (cpus_ != nullptr)
+            co_await cpus_->compute(cost);
+        else
+            co_await sim::Delay(eq_, cost);
+    }
+    faultLock_->release();
+}
+
+void
+MemoryManager::touchUntimed(Addr addr, std::uint64_t length)
+{
+    (void)touchCost(addr, length);
+}
+
+std::uint8_t *
+MemoryManager::resolve(Addr addr, std::uint64_t length) const
+{
+    const Vma *vma = find(addr);
+    if (vma == nullptr || vma->backing == nullptr)
+        return nullptr;
+    const std::uint64_t off = addr - vma->base;
+    if (off + length > vma->pages * kPageSize)
+        return nullptr;
+    return vma->backing + off;
+}
+
+} // namespace genesys::osk

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * UDP stack implementation.
+ */
+
+#include "net.hh"
+
+#include <cerrno>
+
+#include "support/logging.hh"
+
+namespace genesys::osk
+{
+
+UdpSocket::UdpSocket(UdpStack &stack, int id)
+    : stack_(stack), id_(id),
+      rxWait_(std::make_unique<sim::WaitQueue>(stack.events()))
+{}
+
+int
+UdpSocket::bind(SockAddr addr)
+{
+    if (stack_.bound_.contains(addr))
+        return -EADDRINUSE;
+    // Rebinding moves the endpoint.
+    if (local_.port != 0)
+        stack_.bound_.erase(local_);
+    local_ = addr;
+    stack_.bound_[addr] = id_;
+    return 0;
+}
+
+sim::Task<std::int64_t>
+UdpSocket::sendTo(SockAddr dst, std::vector<std::uint8_t> payload)
+{
+    // Wire/DMA time only: the kernel-side (CPU-active) cost is charged
+    // by the sendto syscall handler, not by remote peers using the
+    // socket directly.
+    const auto &p = stack_.params();
+    const Tick wire = transferTicks(payload.size(), p.netBytesPerSec);
+    co_await sim::Delay(stack_.events(), wire);
+    Datagram dgram;
+    dgram.from = local_;
+    dgram.payload = std::move(payload);
+    const std::int64_t n = static_cast<std::int64_t>(dgram.payload.size());
+    stack_.deliver(dst, std::move(dgram));
+    co_return n;
+}
+
+sim::Task<Datagram>
+UdpSocket::recvFrom(std::uint64_t maxLen)
+{
+    while (rx_.empty())
+        co_await rxWait_->wait();
+    Datagram dgram = std::move(rx_.front());
+    rx_.pop_front();
+    if (dgram.payload.size() > maxLen)
+        dgram.payload.resize(maxLen); // UDP truncation
+    co_return dgram;
+}
+
+bool
+UdpSocket::tryRecv(Datagram &out)
+{
+    if (rx_.empty())
+        return false;
+    out = std::move(rx_.front());
+    rx_.pop_front();
+    return true;
+}
+
+void
+UdpSocket::enqueue(Datagram dgram)
+{
+    if (rx_.size() >= kMaxQueue) {
+        ++dropped_;
+        return;
+    }
+    rx_.push_back(std::move(dgram));
+    rxWait_->notifyOne();
+}
+
+UdpSocket *
+UdpStack::createSocket()
+{
+    const int id = nextId_++;
+    auto sock = std::make_unique<UdpSocket>(*this, id);
+    UdpSocket *raw = sock.get();
+    sockets_.emplace(id, std::move(sock));
+    return raw;
+}
+
+UdpSocket *
+UdpStack::socket(int id) const
+{
+    auto it = sockets_.find(id);
+    return it == sockets_.end() ? nullptr : it->second.get();
+}
+
+bool
+UdpStack::closeSocket(int id)
+{
+    auto it = sockets_.find(id);
+    if (it == sockets_.end())
+        return false;
+    if (it->second->local().port != 0)
+        bound_.erase(it->second->local());
+    sockets_.erase(it);
+    return true;
+}
+
+void
+UdpStack::deliver(SockAddr dst, Datagram dgram)
+{
+    auto it = bound_.find(dst);
+    if (it == bound_.end()) {
+        ++unroutable_;
+        return;
+    }
+    ++delivered_;
+    socket(it->second)->enqueue(std::move(dgram));
+}
+
+} // namespace genesys::osk

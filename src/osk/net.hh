@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Minimal UDP stack.
+ *
+ * Supports the memcached case study (Section VIII-D): sockets with
+ * bind/sendto/recvfrom semantics, bounded receive queues with drop-on-
+ * overflow (UDP), and a modeled on-host delivery path. The paper's
+ * GENESYS memcached deliberately avoids RDMA; plain sendto/recvfrom
+ * through the OS stack is the whole point, so the stack charges normal
+ * kernel send/receive costs.
+ */
+
+#ifndef GENESYS_OSK_NET_HH
+#define GENESYS_OSK_NET_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "osk/params.hh"
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "support/types.hh"
+
+namespace genesys::osk
+{
+
+/** (address, port) endpoint; address is an opaque host id. */
+struct SockAddr
+{
+    std::uint32_t host = 0;
+    std::uint16_t port = 0;
+
+    bool
+    operator<(const SockAddr &o) const
+    {
+        return host != o.host ? host < o.host : port < o.port;
+    }
+    bool
+    operator==(const SockAddr &o) const
+    {
+        return host == o.host && port == o.port;
+    }
+};
+
+struct Datagram
+{
+    SockAddr from;
+    std::vector<std::uint8_t> payload;
+};
+
+class UdpStack;
+
+/** One UDP socket: a bound endpoint plus a receive queue. */
+class UdpSocket
+{
+  public:
+    UdpSocket(UdpStack &stack, int id);
+
+    int id() const { return id_; }
+    const SockAddr &local() const { return local_; }
+
+    /** @return 0 or negative errno (EADDRINUSE). */
+    int bind(SockAddr addr);
+
+    /**
+     * Send @p payload to @p dst, charging kernel + wire time.
+     * @return bytes sent or negative errno.
+     */
+    sim::Task<std::int64_t> sendTo(SockAddr dst,
+                                   std::vector<std::uint8_t> payload);
+
+    /**
+     * Receive one datagram (waits if the queue is empty).
+     * Datagram semantics: excess bytes beyond @p maxLen are discarded.
+     */
+    sim::Task<Datagram> recvFrom(std::uint64_t maxLen);
+
+    /** Non-blocking variant. @return false if no datagram pending. */
+    bool tryRecv(Datagram &out);
+
+    std::size_t queued() const { return rx_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    friend class UdpStack;
+
+    void enqueue(Datagram dgram);
+
+    UdpStack &stack_;
+    int id_;
+    SockAddr local_;
+    std::deque<Datagram> rx_;
+    std::unique_ptr<sim::WaitQueue> rxWait_;
+    std::uint64_t dropped_ = 0;
+    static constexpr std::size_t kMaxQueue = 1024;
+};
+
+/** Host-wide UDP state: port table + delivery. */
+class UdpStack
+{
+  public:
+    UdpStack(sim::EventQueue &eq, const OskParams &params)
+        : eq_(eq), params_(params)
+    {}
+
+    /** Create a socket; returned pointer owned by the stack. */
+    UdpSocket *createSocket();
+
+    UdpSocket *socket(int id) const;
+    bool closeSocket(int id);
+
+    sim::EventQueue &events() { return eq_; }
+    const OskParams &params() const { return params_; }
+
+    /** Deliver to the socket bound to @p dst (drop if none). */
+    void deliver(SockAddr dst, Datagram dgram);
+
+    std::uint64_t deliveredDatagrams() const { return delivered_; }
+    std::uint64_t unroutable() const { return unroutable_; }
+
+  private:
+    friend class UdpSocket;
+
+    sim::EventQueue &eq_;
+    const OskParams &params_;
+    std::map<int, std::unique_ptr<UdpSocket>> sockets_;
+    std::map<SockAddr, int> bound_;
+    int nextId_ = 1;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t unroutable_ = 0;
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_NET_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Timing parameters of the OS-kernel substrate.
+ *
+ * These model the CPU-side costs GENESYS pays when servicing GPU system
+ * calls on the platform of Table III (AMD FX-9800P, 4 cores @ 2.7 GHz,
+ * Linux 4.11 / ROCm 1.6). Absolute values are calibration; the
+ * evaluation only relies on their relative magnitudes (documented in
+ * EXPERIMENTS.md).
+ */
+
+#ifndef GENESYS_OSK_PARAMS_HH
+#define GENESYS_OSK_PARAMS_HH
+
+#include "support/types.hh"
+
+namespace genesys::osk
+{
+
+struct OskParams
+{
+    // --- generic syscall path -------------------------------------
+    /// Kernel entry/exit, dispatch, permission checks.
+    Tick syscallBase = ticks::ns(1200);
+    /// Extra path-resolution cost for open() per component.
+    Tick pathComponent = ticks::ns(400);
+
+    // --- filesystem ------------------------------------------------
+    /// tmpfs is memory resident: reads/writes are memcpy-speed.
+    double tmpfsBytesPerSec = 6.0e9;
+    /// Page-cache lookup overhead per read/write call.
+    Tick pageCacheLookup = ticks::ns(600);
+
+    // --- memory management ------------------------------------------
+    Tick mmapBase = ticks::ns(2500);
+    Tick munmapBase = ticks::ns(2000);
+    Tick madviseBase = ticks::ns(1800);
+    /// Cost to unmap/free one 4 KiB page (TLB shootdown amortized).
+    Tick perPageRelease = ticks::ns(90);
+    /// Minor fault service (allocate + zero a page).
+    Tick minorFault = ticks::us(3);
+    /// Major fault: page must come back from swap.
+    Tick swapInPerPage = ticks::us(60);
+    /// Writing a dirty page out to swap under memory pressure.
+    Tick swapOutPerPage = ticks::us(45);
+
+    // --- network -----------------------------------------------------
+    Tick udpSendBase = ticks::us(3);
+    Tick udpRecvBase = ticks::us(2);
+    double netBytesPerSec = 1.2e9; ///< on-host/loopback path.
+
+    // --- signals -------------------------------------------------------
+    Tick signalQueue = ticks::us(2);   ///< rt_sigqueueinfo enqueue.
+    Tick signalDeliver = ticks::us(4); ///< dequeue + handler dispatch.
+
+    // --- misc ----------------------------------------------------------
+    Tick getrusage = ticks::ns(900);
+    Tick ioctlBase = ticks::us(2);
+    Tick lseek = ticks::ns(300);
+
+    // --- scheduling ------------------------------------------------------
+    /// Enqueue a kernel task onto a workqueue.
+    Tick workqueueEnqueue = ticks::us(1);
+    /// Latency until a worker picks a queued task up ("at an
+    /// expedient future point in time an OS worker thread executes
+    /// this task", Section VI).
+    Tick workerDispatch = ticks::us(10);
+    /// Context switch to the context of the original CPU process.
+    Tick contextSwitch = ticks::us(2); // Section VI
+    /// Interrupt delivery from GPU to a CPU core (s_sendmsg path).
+    Tick interruptDeliver = ticks::us(4);
+    /// Interrupt handler prologue/epilogue on the CPU.
+    Tick interruptHandler = ticks::us(1);
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_PARAMS_HH

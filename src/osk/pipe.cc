@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PipeInode implementation.
+ */
+
+#include "pipe.hh"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace genesys::osk
+{
+
+sim::Task<std::int64_t>
+PipeInode::readBlocking(void *dst, std::uint64_t len)
+{
+    if (len == 0)
+        co_return 0;
+    while (buffer_.empty()) {
+        if (writers_ == 0)
+            co_return 0; // EOF
+        co_await readWait_->wait();
+    }
+    const std::uint64_t n =
+        std::min<std::uint64_t>(len, buffer_.size());
+    if (dst != nullptr) {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        for (std::uint64_t i = 0; i < n; ++i)
+            out[i] = buffer_[i];
+    }
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+    writeWait_->notifyAll();
+    co_return static_cast<std::int64_t>(n);
+}
+
+sim::Task<std::int64_t>
+PipeInode::writeBlocking(const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    std::uint64_t written = 0;
+    while (written < len) {
+        if (readers_ == 0)
+            co_return written > 0 ? static_cast<std::int64_t>(written)
+                                  : -EPIPE;
+        if (buffer_.size() >= capacity_) {
+            co_await writeWait_->wait();
+            continue;
+        }
+        const std::uint64_t room = capacity_ - buffer_.size();
+        const std::uint64_t n =
+            std::min<std::uint64_t>(room, len - written);
+        for (std::uint64_t i = 0; i < n; ++i)
+            buffer_.push_back(in == nullptr ? 0 : in[written + i]);
+        written += n;
+        readWait_->notifyAll();
+    }
+    co_return static_cast<std::int64_t>(written);
+}
+
+void
+PipeInode::closeReader()
+{
+    if (--readers_ == 0)
+        writeWait_->notifyAll(); // writers see EPIPE
+}
+
+void
+PipeInode::closeWriter()
+{
+    if (--writers_ == 0)
+        readWait_->notifyAll(); // readers see EOF
+}
+
+} // namespace genesys::osk

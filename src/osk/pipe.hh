@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Anonymous pipes.
+ *
+ * Section IV highlights that POSIX fidelity buys GENESYS "pipes
+ * (including redirection of stdin, stdout, and stderr)" for free.
+ * This is the kernel object behind pipe(2): a bounded byte queue with
+ * blocking reads (empty) and writes (full), EOF on writer close, and
+ * EPIPE on reader close.
+ */
+
+#ifndef GENESYS_OSK_PIPE_HH
+#define GENESYS_OSK_PIPE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "osk/vfs.hh"
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace genesys::osk
+{
+
+class PipeInode : public Inode
+{
+  public:
+    PipeInode(sim::EventQueue &eq, std::size_t capacity = 65536)
+        : Inode(InodeType::Pipe), capacity_(capacity),
+          readWait_(std::make_unique<sim::WaitQueue>(eq)),
+          writeWait_(std::make_unique<sim::WaitQueue>(eq))
+    {}
+
+    /**
+     * Read up to @p len bytes; waits while the pipe is empty and a
+     * writer exists. @return bytes read; 0 = EOF (no writers).
+     */
+    sim::Task<std::int64_t> readBlocking(void *dst, std::uint64_t len);
+
+    /**
+     * Write @p len bytes; waits while the pipe is full and a reader
+     * exists. @return bytes written or -EPIPE (no readers).
+     */
+    sim::Task<std::int64_t> writeBlocking(const void *src,
+                                          std::uint64_t len);
+
+    void
+    addReader()
+    {
+        ++readers_;
+    }
+    void
+    addWriter()
+    {
+        ++writers_;
+    }
+    void closeReader();
+    void closeWriter();
+
+    std::size_t buffered() const { return buffer_.size(); }
+    std::uint64_t size() const override { return buffer_.size(); }
+    int readers() const { return readers_; }
+    int writers() const { return writers_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<std::uint8_t> buffer_;
+    int readers_ = 0;
+    int writers_ = 0;
+    std::unique_ptr<sim::WaitQueue> readWait_;
+    std::unique_ptr<sim::WaitQueue> writeWait_;
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_PIPE_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SignalManager implementation.
+ */
+
+#include "signals.hh"
+
+#include <cerrno>
+
+namespace genesys::osk
+{
+
+int
+SignalManager::queueInfo(const SigInfo &info)
+{
+    if (info.signo < 1 || info.signo > SIGRTMAX_)
+        return -EINVAL;
+    queue_.push_back(info);
+    ++totalQueued_;
+    wait_->notifyOne(params_.signalQueue);
+    return 0;
+}
+
+sim::Task<SigInfo>
+SignalManager::waitInfo()
+{
+    while (queue_.empty())
+        co_await wait_->wait();
+    co_await sim::Delay(eq_, params_.signalDeliver);
+    SigInfo info = queue_.front();
+    queue_.pop_front();
+    co_return info;
+}
+
+bool
+SignalManager::tryDequeue(SigInfo &out)
+{
+    if (queue_.empty())
+        return false;
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+} // namespace genesys::osk

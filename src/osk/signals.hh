@@ -1,0 +1,73 @@
+/**
+ * @file
+ * POSIX real-time signal queues.
+ *
+ * Implements the slice of the signal machinery the paper's
+ * signal-search case study needs (Section VIII-B): rt_sigqueueinfo
+ * queues a signal carrying a siginfo payload (the GPU passes a
+ * work-group identifier through si_value), and a CPU-side consumer
+ * dequeues and processes them. Real-time signals queue (they are not
+ * collapsed like classic signals), preserving one notification per GPU
+ * work-group completion.
+ */
+
+#ifndef GENESYS_OSK_SIGNALS_HH
+#define GENESYS_OSK_SIGNALS_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "osk/params.hh"
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace genesys::osk
+{
+
+inline constexpr int SIGRTMIN_ = 34;
+inline constexpr int SIGRTMAX_ = 64;
+
+struct SigInfo
+{
+    int signo = 0;
+    int code = 0;
+    std::int64_t value = 0; ///< si_value payload
+    std::uint64_t senderId = 0;
+};
+
+class SignalManager
+{
+  public:
+    SignalManager(sim::EventQueue &eq, const OskParams &params)
+        : eq_(eq), params_(params),
+          wait_(std::make_unique<sim::WaitQueue>(eq))
+    {}
+
+    /**
+     * rt_sigqueueinfo: queue @p info for the process.
+     * @return 0 or -EINVAL for a bad signal number.
+     */
+    int queueInfo(const SigInfo &info);
+
+    /** Await and dequeue the next pending signal (sigwaitinfo-like). */
+    sim::Task<SigInfo> waitInfo();
+
+    /** Non-blocking dequeue. */
+    bool tryDequeue(SigInfo &out);
+
+    std::size_t pending() const { return queue_.size(); }
+    std::uint64_t totalQueued() const { return totalQueued_; }
+
+  private:
+    sim::EventQueue &eq_;
+    const OskParams &params_;
+    std::deque<SigInfo> queue_;
+    std::unique_ptr<sim::WaitQueue> wait_;
+    std::uint64_t totalQueued_ = 0;
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_SIGNALS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * sysfs-style tunable files.
+ *
+ * Section VI: "GENESYS uses Linux's sysfs interface to communicate
+ * coalescing parameters." A SysfsFile is a character device whose
+ * read() renders an integer attribute and whose write() parses one —
+ * the standard /sys/<subsystem>/<attr> contract.
+ */
+
+#ifndef GENESYS_OSK_SYSFS_HH
+#define GENESYS_OSK_SYSFS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "osk/vfs.hh"
+
+namespace genesys::osk
+{
+
+class SysfsFile : public CharDevice
+{
+  public:
+    using Getter = std::function<std::uint64_t()>;
+    using Setter = std::function<bool(std::uint64_t)>;
+
+    SysfsFile(Getter getter, Setter setter)
+        : getter_(std::move(getter)), setter_(std::move(setter))
+    {}
+
+    std::uint64_t
+    read(std::uint64_t offset, void *dst, std::uint64_t len) override;
+
+    /** Parses a decimal integer; @return 0 bytes on parse/set error. */
+    std::uint64_t
+    write(std::uint64_t offset, const void *src,
+          std::uint64_t len) override;
+
+  private:
+    Getter getter_;
+    Setter setter_;
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_SYSFS_HH

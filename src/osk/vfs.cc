@@ -1,0 +1,251 @@
+/**
+ * @file
+ * VFS implementation.
+ */
+
+#include "vfs.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace genesys::osk
+{
+
+// ------------------------------------------------------------ RegularFile
+
+void
+RegularFile::setData(std::string_view data)
+{
+    data_.assign(data.begin(), data.end());
+    size_ = data_.size();
+    synthetic_ = false;
+    gen_ = {};
+}
+
+void
+RegularFile::setData(std::vector<std::uint8_t> data)
+{
+    data_ = std::move(data);
+    size_ = data_.size();
+    synthetic_ = false;
+    gen_ = {};
+}
+
+void
+RegularFile::setSynthetic(std::uint64_t bytes,
+                          std::function<std::uint8_t(std::uint64_t)> gen)
+{
+    data_.clear();
+    size_ = bytes;
+    synthetic_ = true;
+    gen_ = std::move(gen);
+}
+
+std::uint64_t
+RegularFile::readAt(std::uint64_t offset, void *dst,
+                    std::uint64_t len) const
+{
+    if (offset >= size_)
+        return 0;
+    const std::uint64_t n = std::min(len, size_ - offset);
+    if (dst == nullptr)
+        return n;
+    auto *out = static_cast<std::uint8_t *>(dst);
+    if (synthetic_) {
+        if (gen_) {
+            for (std::uint64_t i = 0; i < n; ++i)
+                out[i] = gen_(offset + i);
+        } else {
+            std::memset(out, 0, n);
+        }
+    } else {
+        std::memcpy(out, data_.data() + offset, n);
+    }
+    return n;
+}
+
+std::uint64_t
+RegularFile::writeAt(std::uint64_t offset, const void *src,
+                     std::uint64_t len)
+{
+    if (synthetic_) {
+        // Benchmark sink: account size only.
+        size_ = std::max(size_, offset + len);
+        return len;
+    }
+    if (offset + len > data_.size())
+        data_.resize(offset + len, 0);
+    if (src != nullptr)
+        std::memcpy(data_.data() + offset, src, len);
+    size_ = data_.size();
+    return len;
+}
+
+void
+RegularFile::truncate(std::uint64_t new_size)
+{
+    if (!synthetic_)
+        data_.resize(new_size, 0);
+    size_ = new_size;
+}
+
+// -------------------------------------------------------------- Directory
+
+Inode *
+Directory::lookup(const std::string &name) const
+{
+    auto it = children_.find(name);
+    return it == children_.end() ? nullptr : it->second.get();
+}
+
+void
+Directory::add(const std::string &name, std::shared_ptr<Inode> child)
+{
+    children_[name] = std::move(child);
+}
+
+bool
+Directory::remove(const std::string &name)
+{
+    return children_.erase(name) > 0;
+}
+
+// -------------------------------------------------------------------- Vfs
+
+Vfs::Vfs() : root_(std::make_shared<Directory>()) {}
+
+std::vector<std::string>
+Vfs::split(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start < path.size()) {
+        if (path[start] == '/') {
+            ++start;
+            continue;
+        }
+        std::size_t end = path.find('/', start);
+        if (end == std::string::npos)
+            end = path.size();
+        parts.push_back(path.substr(start, end - start));
+        start = end;
+    }
+    return parts;
+}
+
+std::size_t
+Vfs::componentCount(const std::string &path)
+{
+    return split(path).size();
+}
+
+Inode *
+Vfs::resolve(const std::string &path) const
+{
+    if (path.empty() || path[0] != '/')
+        return nullptr;
+    Inode *cur = root_.get();
+    for (const auto &part : split(path)) {
+        if (cur->type() != InodeType::Directory)
+            return nullptr;
+        cur = static_cast<Directory *>(cur)->lookup(part);
+        if (cur == nullptr)
+            return nullptr;
+    }
+    return cur;
+}
+
+Directory *
+Vfs::ensureDir(const std::string &dirPath)
+{
+    Directory *cur = root_.get();
+    for (const auto &part : split(dirPath)) {
+        Inode *next = cur->lookup(part);
+        if (next == nullptr) {
+            auto dir = std::make_shared<Directory>();
+            Directory *raw = dir.get();
+            cur->add(part, std::move(dir));
+            cur = raw;
+            continue;
+        }
+        if (next->type() != InodeType::Directory)
+            return nullptr;
+        cur = static_cast<Directory *>(next);
+    }
+    return cur;
+}
+
+RegularFile *
+Vfs::createFile(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return nullptr;
+    const std::string dir = path.substr(0, slash);
+    const std::string name = path.substr(slash + 1);
+    if (name.empty())
+        return nullptr;
+    Directory *parent = ensureDir(dir);
+    if (parent == nullptr)
+        return nullptr;
+    if (Inode *existing = parent->lookup(name)) {
+        if (existing->type() != InodeType::Regular)
+            return nullptr;
+        auto *file = static_cast<RegularFile *>(existing);
+        file->truncate(0);
+        return file;
+    }
+    auto file = std::make_shared<RegularFile>();
+    RegularFile *raw = file.get();
+    parent->add(name, std::move(file));
+    return raw;
+}
+
+bool
+Vfs::install(const std::string &path, std::shared_ptr<Inode> node)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return false;
+    Directory *parent = ensureDir(path.substr(0, slash));
+    if (parent == nullptr)
+        return false;
+    const std::string name = path.substr(slash + 1);
+    if (name.empty() || parent->lookup(name) != nullptr)
+        return false;
+    parent->add(name, std::move(node));
+    return true;
+}
+
+bool
+Vfs::unlink(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return false;
+    Inode *dir = resolve(slash == 0 ? "/" : path.substr(0, slash));
+    if (dir == nullptr || dir->type() != InodeType::Directory)
+        return false;
+    return static_cast<Directory *>(dir)->remove(path.substr(slash + 1));
+}
+
+std::vector<std::string>
+Vfs::listFiles(const std::string &dirPath) const
+{
+    std::vector<std::string> out;
+    Inode *dir = resolve(dirPath);
+    if (dir == nullptr || dir->type() != InodeType::Directory)
+        return out;
+    const std::string prefix =
+        dirPath.back() == '/' ? dirPath : dirPath + "/";
+    for (const auto &[name, node] :
+         static_cast<Directory *>(dir)->entries()) {
+        if (node->type() == InodeType::Regular)
+            out.push_back(prefix + name);
+    }
+    return out;
+}
+
+} // namespace genesys::osk

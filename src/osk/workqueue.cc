@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CpuCluster and WorkQueue implementation.
+ */
+
+#include "workqueue.hh"
+
+namespace genesys::osk
+{
+
+void
+CpuCluster::recordAcquire()
+{
+    ++busyNow_;
+    steps_.emplace_back(sim_.now(), busyNow_);
+}
+
+void
+CpuCluster::recordRelease()
+{
+    --busyNow_;
+    steps_.emplace_back(sim_.now(), busyNow_);
+}
+
+sim::Task<>
+CpuCluster::run(sim::Task<> work)
+{
+    co_await gate_.acquire();
+    recordAcquire();
+    try {
+        co_await std::move(work);
+    } catch (...) {
+        recordRelease();
+        gate_.release();
+        throw;
+    }
+    recordRelease();
+    gate_.release();
+}
+
+sim::Task<>
+CpuCluster::compute(Tick duration)
+{
+    co_await gate_.acquire();
+    recordAcquire();
+    co_await sim_.delay(duration);
+    recordRelease();
+    gate_.release();
+}
+
+sim::Task<>
+CpuCluster::acquireCore()
+{
+    co_await gate_.acquire();
+    recordAcquire();
+}
+
+void
+CpuCluster::releaseCore()
+{
+    recordRelease();
+    gate_.release();
+}
+
+double
+CpuCluster::utilization(Tick from, Tick to) const
+{
+    if (to <= from || cores_ == 0)
+        return 0.0;
+    // Integrate the step function of busy cores over [from, to].
+    double busy_integral = 0.0;
+    std::uint32_t level = 0;
+    Tick prev = from;
+    for (const auto &[when, count] : steps_) {
+        if (when <= from) {
+            level = count;
+            continue;
+        }
+        const Tick seg_end = std::min(when, to);
+        if (seg_end > prev) {
+            busy_integral +=
+                static_cast<double>(seg_end - prev) * level;
+            prev = seg_end;
+        }
+        if (when >= to)
+            break;
+        level = count;
+    }
+    if (prev < to)
+        busy_integral += static_cast<double>(to - prev) * level;
+    return busy_integral /
+           (static_cast<double>(to - from) * static_cast<double>(cores_));
+}
+
+WorkQueue::WorkQueue(sim::Sim &sim, CpuCluster &cpus,
+                     const OskParams &params, std::uint32_t max_workers)
+    : sim_(sim), cpus_(cpus), params_(params),
+      wait_(std::make_unique<sim::WaitQueue>(sim.events()))
+{
+    for (std::uint32_t i = 0; i < max_workers; ++i)
+        sim_.spawn(workerLoop());
+}
+
+void
+WorkQueue::enqueue(TaskFactory factory)
+{
+    queue_.push_back(std::move(factory));
+    // workerDispatch models the latency until an idle worker notices
+    // the queued task.
+    wait_->notifyOne(params_.workerDispatch);
+}
+
+sim::Task<>
+WorkQueue::workerLoop()
+{
+    for (;;) {
+        while (queue_.empty())
+            co_await wait_->wait();
+        TaskFactory factory = std::move(queue_.front());
+        queue_.pop_front();
+        // Like Linux's concurrency-managed workqueue, a worker that
+        // blocks (e.g. in recvfrom) parks without pinning a CPU core;
+        // tasks charge their *active* CPU time through the cluster
+        // themselves.
+        co_await factory();
+        ++executed_;
+    }
+}
+
+} // namespace genesys::osk

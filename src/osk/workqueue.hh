@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CPU core pool and kernel work-queue.
+ *
+ * GENESYS services GPU system calls in OS worker threads scheduled on
+ * the host CPU (Section VI): the interrupt handler enqueues a kernel
+ * task; "at an expedient future point in time an OS worker thread
+ * executes this task". CpuCluster models the four FX-9800P cores as a
+ * pool that any simulated computation must occupy while it runs;
+ * WorkQueue models Linux's system workqueue with dispatch latency and
+ * a bounded worker count.
+ *
+ * Busy-core accounting feeds the CPU-utilization traces of Figure 14.
+ */
+
+#ifndef GENESYS_OSK_WORKQUEUE_HH
+#define GENESYS_OSK_WORKQUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "osk/params.hh"
+#include "sim/sim.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "support/types.hh"
+
+namespace genesys::osk
+{
+
+class CpuCluster
+{
+  public:
+    CpuCluster(sim::Sim &sim, std::uint32_t cores)
+        : sim_(sim), cores_(cores), gate_(sim.events(), cores)
+    {}
+
+    /** Occupy one core for the duration of @p work. */
+    sim::Task<> run(sim::Task<> work);
+
+    /** Occupy one core for a fixed compute time. */
+    sim::Task<> compute(Tick duration);
+
+    /**
+     * Manual occupancy for run-to-completion service tasks that must
+     * release the core around truly-blocking sections (e.g. recvfrom
+     * with an empty queue). Pair every acquireCore with releaseCore.
+     */
+    sim::Task<> acquireCore();
+    void releaseCore();
+
+    std::uint32_t cores() const { return cores_; }
+    std::uint32_t busyNow() const { return busyNow_; }
+
+    /**
+     * Average fraction of cores busy over [from, to], integrating the
+     * recorded busy-count step function. In [0, 1].
+     */
+    double utilization(Tick from, Tick to) const;
+
+  private:
+    void recordAcquire();
+    void recordRelease();
+
+    sim::Sim &sim_;
+    std::uint32_t cores_;
+    sim::Semaphore gate_;
+    std::uint32_t busyNow_ = 0;
+    /// (tick, busy count after the change); monotone in tick.
+    std::vector<std::pair<Tick, std::uint32_t>> steps_;
+};
+
+/**
+ * Deferred-work queue: enqueue() hands a task factory to one of
+ * @p maxWorkers worker loops; each execution occupies a CPU core.
+ */
+class WorkQueue
+{
+  public:
+    using TaskFactory = std::function<sim::Task<>()>;
+
+    WorkQueue(sim::Sim &sim, CpuCluster &cpus, const OskParams &params,
+              std::uint32_t max_workers);
+
+    /** Queue work; returns after the enqueue cost (bookkeeping only). */
+    void enqueue(TaskFactory factory);
+
+    std::uint64_t executedTasks() const { return executed_; }
+    std::size_t queuedNow() const { return queue_.size(); }
+
+  private:
+    sim::Task<> workerLoop();
+
+    sim::Sim &sim_;
+    CpuCluster &cpus_;
+    const OskParams &params_;
+    std::deque<TaskFactory> queue_;
+    std::unique_ptr<sim::WaitQueue> wait_;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace genesys::osk
+
+#endif // GENESYS_OSK_WORKQUEUE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "event_queue.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace genesys::sim
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    const EventId id = nextId_++;
+    queue_.push(Event{when, nextSeq_++, id, std::move(cb)});
+    pending_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Only ids that are still pending can be cancelled; already-fired
+    // or already-cancelled ids are a no-op. The queue entry remains as
+    // a tombstone and is dropped when popped.
+    return pending_.erase(id) > 0;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        if (pending_.erase(ev.id) == 0)
+            continue; // tombstone of a cancelled event
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        // Skip tombstones without advancing time.
+        if (!pending_.contains(queue_.top().id)) {
+            queue_.pop();
+            continue;
+        }
+        if (queue_.top().when > limit) {
+            now_ = limit;
+            return now_;
+        }
+        runOne();
+    }
+    return now_;
+}
+
+} // namespace genesys::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated machine: GPU wavefronts,
+ * CPU cores, OS worker threads, interrupt delivery, NIC peers and the
+ * memory system all interact exclusively by scheduling events. Events at
+ * the same tick execute in FIFO scheduling order (a monotone sequence
+ * number breaks ties), which makes every run bit-for-bit deterministic.
+ */
+
+#ifndef GENESYS_SIM_EVENT_QUEUE_HH
+#define GENESYS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace genesys::sim
+{
+
+/** Handle for cancelling a scheduled event. */
+using EventId = std::uint64_t;
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     * @return an id usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId scheduleIn(Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * event is a no-op and returns false.
+     */
+    bool deschedule(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return pending_.empty(); }
+
+    std::size_t pendingEvents() const { return pending_.size(); }
+
+    /**
+     * Execute the next event (advancing time to it).
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run until the queue drains or the next event would fire past
+     * @p limit. Time is left at the tick of the last executed event
+     * (or advanced to @p limit if events remain beyond it).
+     * @return the final value of now().
+     */
+    Tick run(Tick limit = kMaxTick);
+
+    /** Total events executed so far (for stats / leak checks). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /// Ids scheduled but neither executed nor cancelled. Cancelled
+    /// entries stay in queue_ as tombstones until popped.
+    std::unordered_set<EventId> pending_;
+};
+
+} // namespace genesys::sim
+
+#endif // GENESYS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Single-assignment awaitable future/promise pair.
+ *
+ * Used wherever one simulated agent produces a value that another agent
+ * waits on: syscall completion, interrupt acknowledgment, a memcached
+ * reply. Multiple coroutines may await the same Future; all are woken
+ * when the value (or an error) is set.
+ */
+
+#ifndef GENESYS_SIM_FUTURE_HH
+#define GENESYS_SIM_FUTURE_HH
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "support/logging.hh"
+
+namespace genesys::sim
+{
+
+template <typename T>
+class Future;
+
+namespace detail
+{
+
+template <typename T>
+struct FutureState
+{
+    explicit FutureState(EventQueue &eq_ref) : eq(eq_ref) {}
+
+    EventQueue &eq;
+    std::optional<T> value;
+    std::exception_ptr error;
+    std::vector<std::coroutine_handle<>> waiters;
+
+    bool ready() const { return value.has_value() || error != nullptr; }
+
+    void
+    wakeAll()
+    {
+        for (auto h : waiters)
+            eq.scheduleIn(0, [h] { h.resume(); });
+        waiters.clear();
+    }
+};
+
+} // namespace detail
+
+/** Producer side. Movable and copyable (shared state). */
+template <typename T>
+class Promise
+{
+  public:
+    explicit Promise(EventQueue &eq)
+        : state_(std::make_shared<detail::FutureState<T>>(eq))
+    {}
+
+    void
+    set(T value)
+    {
+        GENESYS_ASSERT(!state_->ready(), "promise already satisfied");
+        state_->value.emplace(std::move(value));
+        state_->wakeAll();
+    }
+
+    void
+    setError(std::exception_ptr e)
+    {
+        GENESYS_ASSERT(!state_->ready(), "promise already satisfied");
+        state_->error = e;
+        state_->wakeAll();
+    }
+
+    bool satisfied() const { return state_->ready(); }
+
+    Future<T> future() const { return Future<T>(state_); }
+
+  private:
+    std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/** Consumer side; co_await yields the value (or rethrows). */
+template <typename T>
+class Future
+{
+  public:
+    Future() = default;
+    explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+        : state_(std::move(s))
+    {}
+
+    bool valid() const { return state_ != nullptr; }
+    bool ready() const { return state_ && state_->ready(); }
+
+    bool await_ready() const { return ready(); }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        state_->waiters.push_back(h);
+    }
+
+    T
+    await_resume()
+    {
+        if (state_->error)
+            std::rethrow_exception(state_->error);
+        return *state_->value;
+    }
+
+    /** Peek at the value without consuming; requires ready(). */
+    const T &
+    peek() const
+    {
+        GENESYS_ASSERT(ready() && !state_->error, "future not ready");
+        return *state_->value;
+    }
+
+  private:
+    std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+} // namespace genesys::sim
+
+#endif // GENESYS_SIM_FUTURE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sim implementation.
+ */
+
+#include "sim.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace genesys::sim
+{
+
+Sim::RootTask
+Sim::runRoot(Task<> task)
+{
+    ++liveTasks_;
+    try {
+        co_await std::move(task);
+    } catch (...) {
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    --liveTasks_;
+}
+
+void
+Sim::spawn(Task<> task)
+{
+    // The RootTask coroutine is eager: it runs the wrapped task up to
+    // its first suspension immediately, then continues via the queue.
+    runRoot(std::move(task));
+}
+
+Tick
+Sim::run(Tick limit)
+{
+    const Tick end = eq_.run(limit);
+    if (firstError_) {
+        auto e = std::exchange(firstError_, nullptr);
+        std::rethrow_exception(e);
+    }
+    return end;
+}
+
+} // namespace genesys::sim

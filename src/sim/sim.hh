@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulation context: event queue + root-task spawner + RNG + stats.
+ *
+ * A Sim owns everything a model needs to run. Root tasks (spawned via
+ * spawn()) execute concurrently over the shared event queue; run()
+ * drives the queue and rethrows the first exception any root task
+ * raised, so test failures inside coroutines surface normally.
+ */
+
+#ifndef GENESYS_SIM_SIM_HH
+#define GENESYS_SIM_SIM_HH
+
+#include <cstddef>
+#include <exception>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace genesys::sim
+{
+
+class Sim
+{
+  public:
+    explicit Sim(std::uint64_t seed = 1) : random_(seed) {}
+
+    EventQueue &events() { return eq_; }
+    Tick now() const { return eq_.now(); }
+    Random &random() { return random_; }
+    stats::Registry &statsRegistry() { return statsRegistry_; }
+
+    /** Awaitable fixed delay. */
+    Delay delay(Tick ticks) { return Delay(eq_, ticks); }
+
+    /**
+     * Launch @p task as a root coroutine. It starts at the current tick
+     * and runs to completion as events fire. An escaping exception is
+     * captured and rethrown from run()/runFor().
+     */
+    void spawn(Task<> task);
+
+    /** Number of spawned root tasks that have not yet finished. */
+    std::size_t liveTasks() const { return liveTasks_; }
+
+    /**
+     * Run until the event queue drains or @p limit is reached.
+     * @return final simulated time.
+     */
+    Tick run(Tick limit = kMaxTick);
+
+    /** Run for a further @p duration ticks. */
+    Tick runFor(Tick duration) { return run(eq_.now() + duration); }
+
+  private:
+    // Eager, self-destroying wrapper coroutine that owns a root Task.
+    struct RootTask
+    {
+        struct promise_type
+        {
+            RootTask get_return_object() { return {}; }
+            std::suspend_never initial_suspend() noexcept { return {}; }
+            std::suspend_never final_suspend() noexcept { return {}; }
+            void return_void() {}
+            void unhandled_exception() { std::terminate(); }
+        };
+    };
+
+    RootTask runRoot(Task<> task);
+
+    EventQueue eq_;
+    Random random_;
+    stats::Registry statsRegistry_;
+    std::size_t liveTasks_ = 0;
+    std::exception_ptr firstError_;
+};
+
+} // namespace genesys::sim
+
+#endif // GENESYS_SIM_SIM_HH

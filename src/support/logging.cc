@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "logging.hh"
+
+#include <cstdlib>
+#include <vector>
+
+namespace genesys
+{
+
+namespace logging
+{
+
+namespace
+{
+int g_verbosity = 2;
+} // namespace
+
+int
+verbosity()
+{
+    return g_verbosity;
+}
+
+void
+setVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+} // namespace logging
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (logging::verbosity() < 1)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (logging::verbosity() < 2)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace genesys

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * Severity ladder (Section "M5 Status Messages" of the gem5 style guide):
+ *  - panic():  an internal invariant was violated; this is a simulator bug.
+ *              Aborts so a debugger/core dump can inspect the state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits cleanly.
+ *  - warn():   something is off but execution can continue.
+ *  - inform(): plain status output, no connotation of misbehaviour.
+ */
+
+#ifndef GENESYS_SUPPORT_LOGGING_HH
+#define GENESYS_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace genesys
+{
+
+/** Thrown by fatal()/panic() so tests can assert on error paths. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what_arg)
+        : std::logic_error(what_arg)
+    {}
+};
+
+namespace logging
+{
+
+/** Verbosity control: 0 = errors only, 1 = warn, 2 = inform (default). */
+int verbosity();
+void setVerbosity(int level);
+
+std::string vformat(const char *fmt, std::va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace logging
+
+/**
+ * Report an internal simulator bug and throw PanicError.
+ * Never returns normally.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and throw FatalError.
+ * Never returns normally.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a recoverable anomaly. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report plain status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define GENESYS_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::genesys::panic("assertion '%s' failed: %s", #cond,           \
+                             ::genesys::logging::format(__VA_ARGS__)       \
+                                 .c_str());                                \
+        }                                                                  \
+    } while (0)
+
+} // namespace genesys
+
+#endif // GENESYS_SUPPORT_LOGGING_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace genesys
+{
+
+void
+TextTable::setHeader(std::vector<std::string> columns)
+{
+    header_ = std::move(columns);
+    rows_.clear();
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  std::initializer_list<double> values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(logging::format("%.*f", precision, v));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << cell << std::string(widths[c] - cell.size(), ' ');
+            if (c + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace genesys

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harness to print the
+ * rows/series corresponding to each table and figure of the paper.
+ */
+
+#ifndef GENESYS_SUPPORT_TABLE_HH
+#define GENESYS_SUPPORT_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace genesys
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Define the header row. Resets any existing contents. */
+    void setHeader(std::vector<std::string> columns);
+
+    /** Append a data row; it may be shorter than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format cells from doubles with a fixed precision. */
+    void addRow(const std::string &label,
+                std::initializer_list<double> values, int precision = 3);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with column alignment and a rule under the header. */
+    std::string render() const;
+
+    /** Render as comma-separated values (header + rows). */
+    std::string renderCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace genesys
+
+#endif // GENESYS_SUPPORT_TABLE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace implementation.
+ */
+
+#include "trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace genesys::trace
+{
+
+namespace
+{
+
+struct State
+{
+    std::unordered_set<std::string> categories;
+    bool all = false;
+    Sink sink;
+    std::uint64_t emitted = 0;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+void
+defaultSink(Tick when, const std::string &category,
+            const std::string &message)
+{
+    std::fprintf(stderr, "%12llu: [%s] %s\n",
+                 static_cast<unsigned long long>(when),
+                 category.c_str(), message.c_str());
+}
+
+} // namespace
+
+void
+enable(const std::string &category)
+{
+    if (category == "all")
+        state().all = true;
+    else
+        state().categories.insert(category);
+}
+
+void
+disable(const std::string &category)
+{
+    if (category == "all") {
+        state().all = false;
+    } else {
+        state().categories.erase(category);
+    }
+}
+
+bool
+enabled(const std::string &category)
+{
+    const State &s = state();
+    return s.all || s.categories.contains(category);
+}
+
+void
+reset()
+{
+    state().all = false;
+    state().categories.clear();
+}
+
+void
+setSink(Sink sink)
+{
+    state().sink = std::move(sink);
+}
+
+void
+emit(Tick when, const std::string &category, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = logging::vformat(fmt, ap);
+    va_end(ap);
+    ++state().emitted;
+    if (state().sink)
+        state().sink(when, category, msg);
+    else
+        defaultSink(when, category, msg);
+}
+
+std::uint64_t
+emittedRecords()
+{
+    return state().emitted;
+}
+
+} // namespace genesys::trace

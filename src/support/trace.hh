@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Category-based debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Models register trace points under named categories ("genesys",
+ * "gpu", "syscall", ...). Categories are disabled by default and can
+ * be enabled individually or with "all"; every emitted record carries
+ * the simulated timestamp of its event queue. Sinks are pluggable: the
+ * default sink writes to stderr, and tests install a capturing sink.
+ *
+ * Usage:
+ *     GENESYS_TRACE(eq, "syscall", "slot %u -> ready", slot_id);
+ *
+ * The macro evaluates its arguments only when the category is enabled,
+ * so disabled tracing costs one hash lookup per call site.
+ */
+
+#ifndef GENESYS_SUPPORT_TRACE_HH
+#define GENESYS_SUPPORT_TRACE_HH
+
+#include <functional>
+#include <string>
+
+#include "support/types.hh"
+
+namespace genesys::trace
+{
+
+/** Receives every emitted record. */
+using Sink =
+    std::function<void(Tick when, const std::string &category,
+                       const std::string &message)>;
+
+/** Enable one category (or "all"). */
+void enable(const std::string &category);
+
+/** Disable one category (or "all", which also clears the wildcard). */
+void disable(const std::string &category);
+
+/** True when records for @p category would be emitted. */
+bool enabled(const std::string &category);
+
+/** Disable everything. */
+void reset();
+
+/** Replace the sink (nullptr restores the stderr default). */
+void setSink(Sink sink);
+
+/** Emit a record (call through GENESYS_TRACE, not directly). */
+void emit(Tick when, const std::string &category, const char *fmt,
+          ...) __attribute__((format(printf, 3, 4)));
+
+/** Records emitted since process start (cheap health metric). */
+std::uint64_t emittedRecords();
+
+} // namespace genesys::trace
+
+/**
+ * Trace macro: @p eq_expr is anything with a now() returning Tick
+ * (an EventQueue, a Sim, ...).
+ */
+#define GENESYS_TRACE(eq_expr, category, ...)                            \
+    do {                                                                 \
+        if (::genesys::trace::enabled(category)) {                       \
+            ::genesys::trace::emit((eq_expr).now(), category,            \
+                                   __VA_ARGS__);                         \
+        }                                                                \
+    } while (0)
+
+#endif // GENESYS_SUPPORT_TRACE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared across the simulator.
+ *
+ * Simulated time is measured in integer nanoseconds ("ticks"). The
+ * workloads the paper evaluates span microseconds to tens of seconds, so
+ * nanosecond resolution leaves ample headroom in 64 bits (~584 years).
+ */
+
+#ifndef GENESYS_SUPPORT_TYPES_HH
+#define GENESYS_SUPPORT_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace genesys
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never". */
+inline constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+namespace ticks
+{
+
+inline constexpr Tick ns(std::uint64_t v) { return v; }
+inline constexpr Tick us(std::uint64_t v) { return v * 1000ull; }
+inline constexpr Tick ms(std::uint64_t v) { return v * 1000'000ull; }
+inline constexpr Tick sec(std::uint64_t v) { return v * 1000'000'000ull; }
+
+inline constexpr double toUs(Tick t) { return static_cast<double>(t) / 1e3; }
+inline constexpr double toMs(Tick t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double toSec(Tick t) { return static_cast<double>(t) / 1e9; }
+
+} // namespace ticks
+
+namespace size_literals
+{
+
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024ull;
+}
+
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull * 1024ull;
+}
+
+} // namespace size_literals
+
+/**
+ * Convert a byte count moved at @p bytes_per_sec into elapsed ticks,
+ * rounding up so that tiny transfers still cost at least one tick.
+ */
+inline constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    const double secs = static_cast<double>(bytes) / bytes_per_sec;
+    const double ns = secs * 1e9;
+    return ns < 1.0 ? Tick{1} : static_cast<Tick>(ns);
+}
+
+} // namespace genesys
+
+#endif // GENESYS_SUPPORT_TYPES_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * grep implementations (CPU serial, CPU parallel, GENESYS WG/WI).
+ */
+
+#include "grep.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "osk/file.hh"
+#include "support/logging.hh"
+
+namespace genesys::workloads
+{
+
+namespace
+{
+
+/// GPU scan rate: one byte per work-item per cycle.
+constexpr double kGpuBytesPerItemPerCycle = 1.0;
+/// CPU multi-pattern scan rate at 2.7 GHz.
+constexpr double kCpuScanCyclesPerByte = 1.5;
+constexpr double kCpuClockHz = 2.7e9;
+constexpr std::uint32_t kReadChunk = 64 * 1024;
+
+Tick
+cpuScanTicks(std::uint64_t bytes)
+{
+    return static_cast<Tick>(static_cast<double>(bytes) *
+                             kCpuScanCyclesPerByte / kCpuClockHz * 1e9);
+}
+
+std::uint64_t
+gpuScanCycles(std::uint64_t bytes, std::uint32_t items)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(bytes) /
+        (kGpuBytesPerItemPerCycle * items));
+}
+
+struct Shared
+{
+    const GrepCorpus *corpus = nullptr;
+    std::vector<std::vector<char>> buffers;   ///< per file
+    std::vector<std::string> printLines;      ///< "<path>\n" per file
+    /// Models per-work-group LDS cells used to broadcast the leader's
+    /// values (read size, match flag) to the other wavefronts.
+    struct GroupLds
+    {
+        std::int64_t n = 0;
+        bool matched = false;
+    };
+    std::vector<GroupLds> lds; ///< per work-group
+};
+
+/** Read an open fd fully into @p buf via CPU syscalls. */
+sim::Task<std::uint64_t>
+cpuReadAll(core::System &sys, int fd, std::vector<char> &buf)
+{
+    std::uint64_t total = 0;
+    for (;;) {
+        if (buf.size() < total + kReadChunk)
+            buf.resize(total + kReadChunk);
+        const std::int64_t n = co_await sys.kernel().doSyscall(
+            sys.process(), osk::sysno::read,
+            osk::makeArgs(fd, buf.data() + total, kReadChunk));
+        GENESYS_ASSERT(n >= 0, "read failed");
+        total += static_cast<std::uint64_t>(n);
+        if (n == 0)
+            break;
+    }
+    buf.resize(total);
+    co_return total;
+}
+
+/** CPU worker scanning a strided subset of the corpus. */
+sim::Task<>
+cpuGrepWorker(core::System &sys, std::shared_ptr<Shared> shared,
+              std::uint32_t first, std::uint32_t stride)
+{
+    const GrepCorpus &corpus = *shared->corpus;
+    for (std::uint32_t i = first; i < corpus.files.size(); i += stride) {
+        const std::string &path = corpus.files[i];
+        const std::int64_t fd = co_await sys.kernel().doSyscall(
+            sys.process(), osk::sysno::open,
+            osk::makeArgs(path.c_str(), osk::O_RDONLY));
+        GENESYS_ASSERT(fd >= 0, "open failed: %s", path.c_str());
+        std::vector<char> &buf = shared->buffers[i];
+        const std::uint64_t n =
+            co_await cpuReadAll(sys, static_cast<int>(fd), buf);
+        co_await sim::Delay(sys.sim().events(), cpuScanTicks(n));
+        if (containsAnyWord({buf.data(), buf.size()}, corpus.words)) {
+            const std::string &line = shared->printLines[i];
+            co_await sys.kernel().doSyscall(
+                sys.process(), osk::sysno::write,
+                osk::makeArgs(1, line.data(), line.size()));
+        }
+        co_await sys.kernel().doSyscall(sys.process(), osk::sysno::close,
+                                        osk::makeArgs(fd));
+    }
+}
+
+} // namespace
+
+bool
+containsAnyWord(std::string_view text,
+                const std::vector<std::string> &words)
+{
+    for (const auto &w : words) {
+        if (text.find(w) != std::string_view::npos)
+            return true;
+    }
+    return false;
+}
+
+const char *
+grepModeName(GrepMode mode)
+{
+    switch (mode) {
+      case GrepMode::CpuSerial:
+        return "cpu-serial";
+      case GrepMode::CpuOpenMp:
+        return "cpu-openmp";
+      case GrepMode::GpuWorkGroup:
+        return "genesys-wg";
+      case GrepMode::GpuWorkItemPolling:
+        return "genesys-wi-polling";
+      case GrepMode::GpuWorkItemHaltResume:
+        return "genesys-wi-halt-resume";
+    }
+    return "?";
+}
+
+GrepCorpus
+buildGrepCorpus(core::System &sys, const GrepCorpusConfig &config)
+{
+    GrepCorpus corpus;
+    Random &rng = sys.sim().random();
+    for (std::uint32_t w = 0; w < config.numWords; ++w)
+        corpus.words.push_back(rng.lowerAlpha(10));
+
+    for (std::uint32_t f = 0; f < config.numFiles; ++f) {
+        const std::string path =
+            logging::format("%s/file%04u.txt", corpus.dir.c_str(), f);
+        std::string text;
+        text.reserve(config.fileBytes);
+        while (text.size() < config.fileBytes) {
+            text += rng.lowerAlpha(rng.between(3, 9));
+            text += ' ';
+        }
+        text.resize(config.fileBytes);
+        if (rng.chance(config.matchFraction)) {
+            // Plant one of the search words at a random position.
+            const auto &word =
+                corpus.words[rng.below(corpus.words.size())];
+            const std::size_t pos =
+                rng.below(text.size() - word.size());
+            text.replace(pos, word.size(), word);
+            corpus.expected.insert(path);
+        }
+        sys.kernel().vfs().createFile(path)->setData(text);
+        corpus.files.push_back(path);
+        corpus.totalBytes += text.size();
+    }
+    return corpus;
+}
+
+GrepResult
+runGrep(core::System &sys, const GrepCorpus &corpus, GrepMode mode)
+{
+    sys.kernel().terminal().clearTranscript();
+
+    auto shared = std::make_shared<Shared>();
+    shared->corpus = &corpus;
+    shared->buffers.resize(corpus.files.size());
+    shared->lds.resize(corpus.files.size());
+    shared->printLines.reserve(corpus.files.size());
+    for (const auto &path : corpus.files)
+        shared->printLines.push_back(path + "\n");
+
+    const Tick start = sys.sim().now();
+
+    switch (mode) {
+      case GrepMode::CpuSerial: {
+        // A single synchronous user thread pinned to one core.
+        sys.sim().spawn(sys.kernel().cpus().run(
+            cpuGrepWorker(sys, shared, 0, 1)));
+        break;
+      }
+      case GrepMode::CpuOpenMp: {
+        const std::uint32_t workers = sys.kernel().cpus().cores();
+        for (std::uint32_t w = 0; w < workers; ++w) {
+            sys.sim().spawn(sys.kernel().cpus().run(
+                cpuGrepWorker(sys, shared, w, workers)));
+        }
+        break;
+      }
+      case GrepMode::GpuWorkGroup: {
+        const std::uint32_t wg_size = 256;
+        gpu::KernelLaunch launch;
+        launch.workItems =
+            std::uint64_t(corpus.files.size()) * wg_size;
+        launch.wgSize = wg_size;
+        launch.program = [&sys, shared,
+                          wg_size](gpu::WavefrontCtx &ctx)
+            -> sim::Task<> {
+            const GrepCorpus &c = *shared->corpus;
+            const std::uint32_t file_id = ctx.workgroupId();
+            core::Invocation blocking_weak;
+            blocking_weak.ordering = core::Ordering::Relaxed;
+            core::Invocation nonblock = blocking_weak;
+            nonblock.blocking = core::Blocking::NonBlocking;
+
+            const auto fd = co_await sys.gpuSys().open(
+                ctx, blocking_weak, c.files[file_id].c_str(),
+                osk::O_RDONLY);
+            auto &buf = shared->buffers[file_id];
+            auto &lds = shared->lds[file_id];
+            if (ctx.isGroupLeader())
+                buf.resize(c.totalBytes / c.files.size() + kReadChunk);
+            std::uint64_t total = 0;
+            for (;;) {
+                const auto n_leader = co_await sys.gpuSys().read(
+                    ctx, blocking_weak, static_cast<int>(fd),
+                    ctx.isGroupLeader() ? buf.data() + total : nullptr,
+                    kReadChunk);
+                // Broadcast the leader's byte count through LDS so
+                // every wavefront agrees on loop termination.
+                if (ctx.isGroupLeader())
+                    lds.n = n_leader;
+                co_await ctx.wgBarrier();
+                const std::int64_t n = lds.n;
+                total += static_cast<std::uint64_t>(n > 0 ? n : 0);
+                co_await ctx.compute(gpuScanCycles(
+                    static_cast<std::uint64_t>(n > 0 ? n : 0),
+                    wg_size));
+                if (n <= 0 ||
+                    static_cast<std::uint64_t>(n) < kReadChunk) {
+                    break;
+                }
+            }
+            if (ctx.isGroupLeader()) {
+                buf.resize(total);
+                lds.matched =
+                    containsAnyWord({buf.data(), buf.size()}, c.words);
+            }
+            co_await ctx.wgBarrier();
+            if (lds.matched) {
+                const auto &line = shared->printLines[file_id];
+                co_await sys.gpuSys().write(ctx, nonblock, 1,
+                                            line.data(), line.size());
+            }
+            co_await sys.gpuSys().close(ctx, nonblock,
+                                        static_cast<int>(fd));
+        };
+        sys.launchGpuAndDrain(std::move(launch));
+        break;
+      }
+      case GrepMode::GpuWorkItemPolling:
+      case GrepMode::GpuWorkItemHaltResume: {
+        const core::WaitMode wait_mode =
+            mode == GrepMode::GpuWorkItemPolling
+                ? core::WaitMode::Polling
+                : core::WaitMode::HaltResume;
+        gpu::KernelLaunch launch;
+        launch.workItems = corpus.files.size();
+        launch.wgSize = 64; // one wavefront per group
+        launch.program = [&sys, shared,
+                          wait_mode](gpu::WavefrontCtx &ctx)
+            -> sim::Task<> {
+            const GrepCorpus &c = *shared->corpus;
+            core::Invocation wi;
+            wi.granularity = core::Granularity::WorkItem;
+            wi.ordering = core::Ordering::Strong;
+            wi.waitMode = wait_mode;
+
+            auto file_of = [&](std::uint32_t lane) {
+                return ctx.firstWorkItem() + lane;
+            };
+            // Per-lane open.
+            std::vector<std::int64_t> fds(ctx.laneCount(), -1);
+            co_await sys.gpuSys().invokeWorkItems(
+                ctx, wi, osk::sysno::open,
+                [&](std::uint32_t lane) {
+                    return std::optional(osk::makeArgs(
+                        c.files[file_of(lane)].c_str(),
+                        osk::O_RDONLY));
+                },
+                [&fds](std::uint32_t lane, std::int64_t ret) {
+                    fds[lane] = ret;
+                });
+            // Per-lane full-file pread.
+            std::uint64_t max_bytes = 0;
+            co_await sys.gpuSys().invokeWorkItems(
+                ctx, wi, osk::sysno::pread64,
+                [&](std::uint32_t lane) {
+                    auto &buf = shared->buffers[file_of(lane)];
+                    buf.resize(kReadChunk * 16);
+                    return std::optional(osk::makeArgs(
+                        static_cast<int>(fds[lane]), buf.data(),
+                        buf.size(), 0));
+                },
+                [&](std::uint32_t lane, std::int64_t ret) {
+                    auto &buf = shared->buffers[file_of(lane)];
+                    buf.resize(ret > 0 ? ret : 0);
+                    max_bytes = std::max(
+                        max_bytes,
+                        static_cast<std::uint64_t>(ret > 0 ? ret : 0));
+                });
+            // Each lane scans its own file serially.
+            co_await ctx.compute(gpuScanCycles(max_bytes, 1));
+            // Matching lanes print immediately (divergent invocation),
+            // non-blocking so no lane waits on the console.
+            core::Invocation wi_nb = wi;
+            wi_nb.blocking = core::Blocking::NonBlocking;
+            co_await sys.gpuSys().invokeWorkItems(
+                ctx, wi_nb, osk::sysno::write,
+                [&](std::uint32_t lane)
+                    -> std::optional<osk::SyscallArgs> {
+                    const auto &buf = shared->buffers[file_of(lane)];
+                    if (!containsAnyWord({buf.data(), buf.size()},
+                                         c.words)) {
+                        return std::nullopt;
+                    }
+                    const auto &line =
+                        shared->printLines[file_of(lane)];
+                    return osk::makeArgs(1, line.data(), line.size());
+                });
+            co_await sys.gpuSys().invokeWorkItems(
+                ctx, wi_nb, osk::sysno::close,
+                [&fds](std::uint32_t lane) {
+                    return std::optional(osk::makeArgs(
+                        static_cast<int>(fds[lane])));
+                });
+        };
+        sys.launchGpuAndDrain(std::move(launch));
+        break;
+      }
+    }
+
+    const Tick end = sys.run();
+
+    GrepResult result;
+    result.elapsed = end - start;
+    std::istringstream lines(sys.kernel().terminal().transcript());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (!line.empty())
+            result.matched.insert(line);
+    }
+    result.correct = result.matched == corpus.expected;
+    return result;
+}
+
+} // namespace genesys::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * grep -F -l (paper Section VIII-C, Figure 13a).
+ *
+ * Takes a list of fixed strings and a list of files; prints the name
+ * of every file containing any of the strings, as soon as it is found,
+ * to the console — through the same write() path as regular files
+ * ("everything is a file"). Five implementations:
+ *
+ *  - CPU serial            (standard grep)
+ *  - CPU parallel          (OpenMP-style, one file per core)
+ *  - GENESYS work-group    (one file per work-group)
+ *  - GENESYS work-item, polling wait
+ *  - GENESYS work-item, halt-resume wait
+ *
+ * Work-item invocation lets a lane print its match immediately instead
+ * of waiting for the rest of the wave's files — the flexibility GPUfs'
+ * coarse custom API cannot express.
+ */
+
+#ifndef GENESYS_WORKLOADS_GREP_HH
+#define GENESYS_WORKLOADS_GREP_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace genesys::workloads
+{
+
+struct GrepCorpus
+{
+    std::string dir = "/corpus";
+    std::vector<std::string> files; ///< absolute paths
+    std::vector<std::string> words;
+    std::set<std::string> expected; ///< files containing any word
+    std::uint64_t totalBytes = 0;
+};
+
+struct GrepCorpusConfig
+{
+    std::uint32_t numFiles = 128;
+    std::uint32_t fileBytes = 16 * 1024;
+    std::uint32_t numWords = 8;
+    double matchFraction = 0.5; ///< fraction of files with a planted hit
+};
+
+/** Build a corpus of random text with planted matches into the VFS. */
+GrepCorpus buildGrepCorpus(core::System &sys,
+                           const GrepCorpusConfig &config);
+
+enum class GrepMode
+{
+    CpuSerial,
+    CpuOpenMp,
+    GpuWorkGroup,
+    GpuWorkItemPolling,
+    GpuWorkItemHaltResume,
+};
+
+const char *grepModeName(GrepMode mode);
+
+struct GrepResult
+{
+    Tick elapsed = 0;
+    std::set<std::string> matched;
+    bool correct = false; ///< matched == corpus.expected
+};
+
+/**
+ * Run grep over @p corpus. @p sys must be the system the corpus was
+ * built into; the console transcript is cleared first and carries the
+ * printed names afterwards.
+ */
+GrepResult runGrep(core::System &sys, const GrepCorpus &corpus,
+                   GrepMode mode);
+
+/** Pure scan used by every implementation (and by tests). */
+bool containsAnyWord(std::string_view text,
+                     const std::vector<std::string> &words);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_GREP_HH

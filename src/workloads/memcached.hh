@@ -1,0 +1,106 @@
+/**
+ * @file
+ * UDP memcached (paper Section VIII-D, Figure 15).
+ *
+ * A binary UDP key-value server with a fixed-size hash table shared
+ * between CPU and GPU. The CPU handles SETs and GETs; the GPU version
+ * services GETs from a persistent kernel, using plain sendto/recvfrom
+ * at work-group granularity (blocking + weak ordering) — no RDMA,
+ * which is exactly the paper's point versus GPUnet. GPUs win on
+ * buckets with many elements by parallelizing the key comparisons.
+ */
+
+#ifndef GENESYS_WORKLOADS_MEMCACHED_HH
+#define GENESYS_WORKLOADS_MEMCACHED_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "support/stats.hh"
+
+namespace genesys::workloads
+{
+
+/** Binary wire ops. */
+enum class McOp : std::uint8_t
+{
+    Set = 1,
+    Get = 2,
+    Reply = 3,
+    Miss = 4,
+    Stop = 5, ///< control message ending a server loop
+};
+
+/** Fixed-geometry open-chained hash table shared by CPU and GPU. */
+class McHashTable
+{
+  public:
+    McHashTable(std::uint32_t buckets, std::uint32_t value_bytes)
+        : valueBytes_(value_bytes), buckets_(buckets)
+    {}
+
+    struct Entry
+    {
+        std::string key;
+        std::vector<std::uint8_t> value;
+    };
+
+    std::uint32_t bucketOf(const std::string &key) const;
+    std::uint32_t bucketCount() const
+    {
+        return static_cast<std::uint32_t>(buckets_.size());
+    }
+    std::uint32_t valueBytes() const { return valueBytes_; }
+
+    void set(const std::string &key, std::vector<std::uint8_t> value);
+    const Entry *get(const std::string &key) const;
+    /** Entries in @p key's bucket (the lookup scan length). */
+    std::size_t chainLength(const std::string &key) const;
+
+  private:
+    std::uint32_t valueBytes_;
+    std::vector<std::vector<Entry>> buckets_;
+};
+
+/** Serialize/parse the tiny binary protocol (tested directly). */
+std::vector<std::uint8_t> mcEncode(McOp op, const std::string &key,
+                                   const std::vector<std::uint8_t> &val);
+struct McMessage
+{
+    McOp op;
+    std::string key;
+    std::vector<std::uint8_t> value;
+};
+std::optional<McMessage> mcDecode(const std::vector<std::uint8_t> &wire);
+
+struct MemcachedConfig
+{
+    std::uint32_t buckets = 64;
+    std::uint32_t elemsPerBucket = 1024; ///< Figure 15 headline point
+    std::uint32_t valueBytes = 1024;     ///< 1KB data size
+    std::uint32_t numGets = 512;
+    double missFraction = 0.05;
+    bool useGpu = false; ///< GPU GET service via GENESYS
+    std::uint32_t gpuServerGroups = 8;
+};
+
+struct MemcachedResult
+{
+    Tick elapsed = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    bool correct = false; ///< every reply carried the right value
+    double meanLatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
+    double throughputKops = 0.0;
+};
+
+MemcachedResult runMemcached(core::System &sys,
+                             const MemcachedConfig &config);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_MEMCACHED_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * miniAMR memory-management case study (paper Section VIII-A, Fig 11).
+ *
+ * 3D stencil computation over an adaptively refined mesh whose memory
+ * needs vary with the data: a turbulent region sweeping the domain
+ * forces refinement (more blocks touched), quiet regions coarsen. The
+ * dataset (4.1 GB in the paper) slightly exceeds the physical memory
+ * available to the GPU, so the no-madvise baseline thrashes the swap
+ * until the GPU driver's watchdog kills the kernel. With GENESYS, the
+ * GPU itself calls getrusage to watch its RSS and madvise(DONTNEED) to
+ * release coarsened blocks when a watermark is exceeded, trading
+ * memory footprint against refault time (rss-3GB vs rss-4GB).
+ */
+
+#ifndef GENESYS_WORKLOADS_MINIAMR_HH
+#define GENESYS_WORKLOADS_MINIAMR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace genesys::workloads
+{
+
+struct MiniAmrConfig
+{
+    /// Total dataset size; Fig 11 uses 4.1 GB against a 4 GB limit.
+    std::uint64_t datasetBytes = 4ull * 1024 * 1024 * 1024 +
+                                 100ull * 1024 * 1024;
+    std::uint64_t blockBytes = 8ull * 1024 * 1024;
+    std::uint32_t timesteps = 48;
+    /// Fraction of blocks refined (touched) each timestep.
+    double activeFraction = 0.35;
+    /// RSS watermark above which coarsened blocks are madvised away;
+    /// 0 disables madvise (the paper's non-completing baseline).
+    std::uint64_t rssWatermarkBytes = 0;
+    /// GPU driver watchdog: cumulative swap stall per timestep that
+    /// counts as a timeout ("GPU timeouts cause the device driver to
+    /// terminate the application").
+    Tick gpuTimeout = ticks::ms(2000);
+    /// SIMD cycles per touched page of stencil work.
+    std::uint64_t cyclesPerPage = 600;
+};
+
+struct MiniAmrResult
+{
+    bool completed = false;
+    bool gpuTimeout = false;
+    Tick elapsed = 0;
+    std::uint32_t timestepsRun = 0;
+    std::uint64_t peakRssBytes = 0;
+    std::uint64_t madviseCalls = 0;
+    std::uint64_t majorFaults = 0;
+    /// Fig 11: (time, RSS bytes) after each timestep.
+    std::vector<std::pair<Tick, std::uint64_t>> rssTimeline;
+};
+
+MiniAmrResult runMiniAmr(core::System &sys, const MiniAmrConfig &config);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_MINIAMR_HH

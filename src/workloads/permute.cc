@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Permutation microbenchmark implementation.
+ */
+
+#include "permute.hh"
+
+#include <memory>
+
+#include "osk/file.hh"
+#include "support/logging.hh"
+
+namespace genesys::workloads
+{
+
+std::vector<std::uint32_t>
+permutationTable(std::uint32_t block_bytes)
+{
+    // Fixed multiplicative permutation: i -> (i * a + c) mod n with a
+    // coprime to n. Deterministic, full-cycle, cheap to verify.
+    std::vector<std::uint32_t> table(block_bytes);
+    const std::uint64_t a = 4099, c = 2731;
+    for (std::uint32_t i = 0; i < block_bytes; ++i)
+        table[i] = static_cast<std::uint32_t>((i * a + c) % block_bytes);
+    return table;
+}
+
+void
+permuteReference(std::vector<std::uint8_t> &block,
+                 const std::vector<std::uint32_t> &table,
+                 std::uint32_t iters)
+{
+    std::vector<std::uint8_t> tmp(block.size());
+    for (std::uint32_t it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < block.size(); ++i)
+            tmp[i] = block[table[i]];
+        block.swap(tmp);
+    }
+}
+
+PermuteResult
+runPermute(core::System &sys, const PermuteConfig &config)
+{
+    GENESYS_ASSERT(config.numBlocks > 0 && config.blockBytes > 0,
+                   "empty permutation workload");
+
+    // Shared experiment state, alive until the simulation finishes.
+    struct Shared
+    {
+        std::vector<std::uint32_t> table;
+        std::vector<std::uint8_t> input;
+        std::vector<std::vector<std::uint8_t>> scratch;
+        std::int64_t fd = -1;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->table = permutationTable(config.blockBytes);
+    shared->input.resize(std::size_t(config.numBlocks) *
+                         config.blockBytes);
+    for (auto &b : shared->input)
+        b = static_cast<std::uint8_t>(sys.sim().random().below(256));
+    shared->scratch.resize(config.numBlocks);
+
+    sys.kernel().vfs().createFile(config.outputPath);
+
+    core::Invocation write_inv;
+    write_inv.granularity = core::Granularity::WorkGroup;
+    write_inv.ordering = config.ordering;
+    write_inv.blocking = config.blocking;
+    write_inv.waitMode = config.waitMode;
+
+    // The output descriptor is opened once from the host-side process
+    // before the kernel launches (as the paper's benchmark does).
+    auto setup = [&sys, shared, config]() -> sim::Task<> {
+        shared->fd = co_await sys.kernel().doSyscall(
+            sys.process(), osk::sysno::open,
+            osk::makeArgs(config.outputPath,
+                          osk::O_WRONLY | osk::O_CREAT));
+        GENESYS_ASSERT(shared->fd >= 0, "cannot open output");
+    };
+    sys.sim().spawn(setup());
+    sys.run();
+
+    const Tick start = sys.sim().now();
+
+    gpu::KernelLaunch launch;
+    launch.workItems =
+        std::uint64_t(config.numBlocks) * config.wgSize;
+    launch.wgSize = config.wgSize;
+    launch.program = [&sys, shared,
+                      config, write_inv](gpu::WavefrontCtx &ctx)
+        -> sim::Task<> {
+        const std::uint32_t block_id = ctx.workgroupId();
+        // The group leader materializes the (functionally real)
+        // permutation; every wavefront is charged its SIMD share.
+        if (ctx.isGroupLeader()) {
+            auto &block = shared->scratch[block_id];
+            block.assign(shared->input.begin() +
+                             std::size_t(block_id) * config.blockBytes,
+                         shared->input.begin() +
+                             std::size_t(block_id + 1) *
+                                 config.blockBytes);
+            permuteReference(block, shared->table, config.iterations);
+        }
+        co_await ctx.compute(std::uint64_t(config.cyclesPerIteration) *
+                             config.iterations);
+        co_await sys.gpuSys().pwrite(
+            ctx, write_inv, static_cast<int>(shared->fd),
+            shared->scratch[block_id].data(), config.blockBytes,
+            std::int64_t(block_id) * config.blockBytes);
+    };
+    sys.launchGpuAndDrain(std::move(launch));
+    const Tick end = sys.run();
+
+    PermuteResult result;
+    result.elapsed = end - start;
+    result.usPerPermutation =
+        ticks::toUs(result.elapsed) /
+        (static_cast<double>(config.numBlocks) * config.iterations);
+    result.syscalls = sys.host().processedSyscalls();
+
+    // Verify the file holds the permuted input.
+    auto *out = static_cast<osk::RegularFile *>(
+        sys.kernel().vfs().resolve(config.outputPath));
+    bool ok = out != nullptr &&
+              out->size() == shared->input.size();
+    if (ok) {
+        std::vector<std::uint8_t> expect(config.blockBytes);
+        for (std::uint32_t blk = 0; blk < config.numBlocks && ok;
+             ++blk) {
+            expect.assign(shared->input.begin() +
+                              std::size_t(blk) * config.blockBytes,
+                          shared->input.begin() +
+                              std::size_t(blk + 1) * config.blockBytes);
+            permuteReference(expect, shared->table, config.iterations);
+            for (std::uint32_t i = 0; i < config.blockBytes; ++i) {
+                if (out->data()[std::size_t(blk) * config.blockBytes +
+                                i] != expect[i]) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+    }
+    result.outputCorrect = ok;
+    return result;
+}
+
+} // namespace genesys::workloads

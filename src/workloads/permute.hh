@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Block-permutation microbenchmark (paper Figure 8).
+ *
+ * "A GPU microbenchmark that performs block permutation on an array,
+ * similar to the permutation steps performed in DES encryption. The
+ * input data array is preloaded with random values and divided into
+ * 8KB blocks. Work-groups each of 1024 work-items independently
+ * permute blocks. The results are written to a file using pwrite at
+ * work-group granularity." Iterating the permutation before the write
+ * varies the compute-to-syscall ratio.
+ *
+ * The permutation is real (bytes move; tests verify the output file),
+ * and the per-iteration SIMD cost is charged to the GPU clock.
+ */
+
+#ifndef GENESYS_WORKLOADS_PERMUTE_HH
+#define GENESYS_WORKLOADS_PERMUTE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace genesys::workloads
+{
+
+struct PermuteConfig
+{
+    std::uint32_t blockBytes = 8192;
+    std::uint32_t numBlocks = 256;
+    std::uint32_t wgSize = 1024; ///< 16 wavefronts per group
+    std::uint32_t iterations = 10;
+    core::Ordering ordering = core::Ordering::Strong;
+    core::Blocking blocking = core::Blocking::Blocking;
+    core::WaitMode waitMode = core::WaitMode::Polling;
+    /// SIMD cycles one permutation pass costs each wavefront.
+    std::uint64_t cyclesPerIteration = 3000;
+    const char *outputPath = "/tmp/permute.out";
+};
+
+struct PermuteResult
+{
+    Tick elapsed = 0;
+    /// Figure 8's y-axis: time for one block permutation.
+    double usPerPermutation = 0.0;
+    bool outputCorrect = false;
+    std::uint64_t syscalls = 0;
+};
+
+/** The deterministic byte permutation used by every block. */
+std::vector<std::uint32_t> permutationTable(std::uint32_t block_bytes);
+
+/** Apply the permutation @p iters times to @p block (reference). */
+void permuteReference(std::vector<std::uint8_t> &block,
+                      const std::vector<std::uint32_t> &table,
+                      std::uint32_t iters);
+
+/** Run the full experiment on a fresh @p sys. */
+PermuteResult runPermute(core::System &sys, const PermuteConfig &config);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_PERMUTE_HH

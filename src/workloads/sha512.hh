@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SHA-512 (FIPS 180-4).
+ *
+ * The signal-search case study (Section VIII-B) computes sha512
+ * checksums on the CPU for data blocks the GPU locates; many CPUs
+ * accelerate SHA with dedicated instructions, which is why the second
+ * phase "is more appropriate for CPUs". This is a real, tested
+ * implementation — the workload checksums are functionally meaningful.
+ */
+
+#ifndef GENESYS_WORKLOADS_SHA512_HH
+#define GENESYS_WORKLOADS_SHA512_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace genesys::workloads
+{
+
+using Sha512Digest = std::array<std::uint8_t, 64>;
+
+/** One-shot hash of @p len bytes at @p data. */
+Sha512Digest sha512(const void *data, std::size_t len);
+
+/** Lowercase-hex rendering of a digest. */
+std::string toHex(const Sha512Digest &digest);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_SHA512_HH

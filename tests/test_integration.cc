@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Cross-module integration scenarios: GPU and CPU code cooperating
+ * through files, pipes, and signals — the heterogeneous programming
+ * style GENESYS exists to enable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "osk/file.hh"
+#include "osk/pipe.hh"
+
+namespace genesys::core
+{
+namespace
+{
+
+Invocation
+weak()
+{
+    Invocation i;
+    i.ordering = Ordering::Relaxed;
+    return i;
+}
+
+TEST(Integration, GpuWritesCpuReadsGpuReadsBack)
+{
+    System sys;
+    sys.kernel().vfs().createFile("/shared");
+
+    // Stage 1: GPU writes.
+    static const char gpu_data[] = "gpu-was-here";
+    gpu::KernelLaunch w;
+    w.workItems = 64;
+    w.wgSize = 64;
+    w.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const auto fd = co_await sys.gpuSys().open(
+            ctx, weak(), "/shared", osk::O_WRONLY);
+        co_await sys.gpuSys().pwrite(ctx, weak(),
+                                     static_cast<int>(fd), gpu_data,
+                                     12, 0);
+    };
+    sys.launchGpuAndDrain(std::move(w));
+    sys.run();
+
+    // Stage 2: CPU appends via its own syscalls.
+    sys.sim().spawn([](System &s) -> sim::Task<> {
+        const auto fd = co_await s.kernel().doSyscall(
+            s.process(), osk::sysno::open,
+            osk::makeArgs("/shared", osk::O_WRONLY | osk::O_APPEND));
+        co_await s.kernel().doSyscall(
+            s.process(), osk::sysno::write,
+            osk::makeArgs(fd, "+cpu", 4));
+    }(sys));
+    sys.run();
+
+    // Stage 3: GPU reads the combined content back.
+    static char readback[32] = {};
+    std::int64_t got = 0;
+    gpu::KernelLaunch r;
+    r.workItems = 64;
+    r.wgSize = 64;
+    r.program = [&sys, &got](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const auto fd = co_await sys.gpuSys().open(
+            ctx, weak(), "/shared", osk::O_RDONLY);
+        got = co_await sys.gpuSys().pread(
+            ctx, weak(), static_cast<int>(fd), readback, 32, 0);
+    };
+    sys.launchGpuAndDrain(std::move(r));
+    sys.run();
+
+    EXPECT_EQ(got, 16);
+    EXPECT_EQ(std::string(readback, 16), "gpu-was-here+cpu");
+}
+
+TEST(Integration, GpuProducesIntoPipeCpuConsumesConcurrently)
+{
+    // A streaming GPU->CPU pipeline over pipe(2), with both sides
+    // running in the same simulation: the GPU writes through GENESYS
+    // while the CPU read-loops — blocked reads must not wedge the
+    // syscall service path.
+    System sys;
+    int fds[2] = {-1, -1};
+    sys.sim().spawn([](System &s, int *out) -> sim::Task<> {
+        co_await s.kernel().doSyscall(s.process(), osk::sysno::pipe,
+                                      osk::makeArgs(out));
+    }(sys, fds));
+    sys.run();
+    ASSERT_GE(fds[0], 0);
+
+    std::string consumed;
+    sys.sim().spawn([](System &s, int fd,
+                       std::string &out) -> sim::Task<> {
+        char buf[64];
+        for (;;) {
+            const auto n = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::read,
+                osk::makeArgs(fd, buf, sizeof buf));
+            if (n <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+    }(sys, fds[0], consumed));
+
+    static char messages[8][16];
+    gpu::KernelLaunch k;
+    k.workItems = 8 * 64;
+    k.wgSize = 64;
+    k.program = [&sys, &fds](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto &msg = messages[ctx.workgroupId()];
+        std::snprintf(msg, sizeof msg, "block%02u;",
+                      ctx.workgroupId());
+        co_await ctx.compute(5000 * (ctx.workgroupId() + 1));
+        co_await sys.gpuSys().write(ctx, weak(), fds[1], msg, 8);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+
+    // Close the writer from the CPU: consumer sees EOF and finishes.
+    sys.sim().spawn([](System &s, int fd) -> sim::Task<> {
+        co_await s.kernel().doSyscall(s.process(), osk::sysno::close,
+                                      osk::makeArgs(fd));
+    }(sys, fds[1]));
+    sys.run();
+
+    EXPECT_EQ(consumed.size(), 8u * 8);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_NE(consumed.find(logging::format("block%02d;", i)),
+                  std::string::npos);
+    }
+}
+
+TEST(Integration, SignalsInterleavedWithFilesystemCalls)
+{
+    // Work-groups write a result file AND signal per-block completion;
+    // a CPU consumer reacts to each signal by reading that block.
+    System sys;
+    sys.kernel().vfs().createFile("/results");
+    static char block_data[8][8];
+
+    int reacted = 0;
+    sys.sim().spawn([](System &s, int &count) -> sim::Task<> {
+        for (;;) {
+            osk::SigInfo info =
+                co_await s.process().signals().waitInfo();
+            if (info.value < 0)
+                co_return;
+            char buf[8] = {};
+            const auto fd = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::open,
+                osk::makeArgs("/results", osk::O_RDONLY));
+            const auto n = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::pread64,
+                osk::makeArgs(fd, buf, 8, info.value * 8));
+            EXPECT_EQ(n, 8);
+            EXPECT_EQ(buf[0], 'b');
+            ++count;
+        }
+    }(sys, reacted));
+
+    gpu::KernelLaunch k;
+    k.workItems = 8 * 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const std::uint32_t wg = ctx.workgroupId();
+        std::snprintf(block_data[wg], 8, "b%06u", wg);
+        const auto fd = co_await sys.gpuSys().open(
+            ctx, weak(), "/results", osk::O_WRONLY);
+        co_await sys.gpuSys().pwrite(ctx, weak(),
+                                     static_cast<int>(fd),
+                                     block_data[wg], 8, wg * 8);
+        static osk::SigInfo infos[8];
+        infos[wg].signo = osk::SIGRTMIN_;
+        infos[wg].value = wg;
+        Invocation nb = weak();
+        nb.blocking = Blocking::NonBlocking;
+        co_await sys.gpuSys().rtSigqueueinfo(ctx, nb, 0,
+                                             osk::SIGRTMIN_,
+                                             &infos[wg]);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+    osk::SigInfo sentinel;
+    sentinel.signo = osk::SIGRTMIN_;
+    sentinel.value = -1;
+    sys.process().signals().queueInfo(sentinel);
+    sys.run();
+    EXPECT_EQ(reacted, 8);
+}
+
+TEST(Integration, SequentialKernelsWithDrainBetween)
+{
+    // The paper's continuation-free model: one logical task split
+    // into phases, with Section IX's drain making phase boundaries
+    // safe for non-blocking stragglers.
+    System sys;
+    sys.kernel().vfs().createFile("/acc");
+    for (int phase = 0; phase < 4; ++phase) {
+        static char byte[4];
+        byte[phase] = static_cast<char>('0' + phase);
+        gpu::KernelLaunch k;
+        k.workItems = 64;
+        k.wgSize = 64;
+        k.program = [&sys, phase](gpu::WavefrontCtx &ctx)
+            -> sim::Task<> {
+            const auto fd = co_await sys.gpuSys().open(
+                ctx, weak(), "/acc", osk::O_WRONLY);
+            Invocation nb = weak();
+            nb.blocking = Blocking::NonBlocking;
+            co_await sys.gpuSys().pwrite(ctx, nb,
+                                         static_cast<int>(fd),
+                                         &byte[phase], 1, phase);
+        };
+        sys.launchGpuAndDrain(std::move(k));
+        sys.run();
+        // Drain guarantee: the non-blocking write has landed.
+        auto *f = static_cast<osk::RegularFile *>(
+            sys.kernel().vfs().resolve("/acc"));
+        ASSERT_EQ(f->size(), static_cast<std::uint64_t>(phase + 1));
+    }
+}
+
+TEST(Integration, TwoProcessesHaveIsolatedDescriptors)
+{
+    System sys;
+    osk::Process &p2 = sys.kernel().createProcess();
+    sys.kernel().vfs().createFile("/f")->setData("x");
+    std::int64_t fd1 = -1, fd2 = -1, bad = 0;
+    sys.sim().spawn([](System &s, osk::Process &other, std::int64_t &a,
+                       std::int64_t &b, std::int64_t &c) -> sim::Task<> {
+        a = co_await s.kernel().doSyscall(
+            s.process(), osk::sysno::open,
+            osk::makeArgs("/f", osk::O_RDONLY));
+        b = co_await s.kernel().doSyscall(
+            other, osk::sysno::open, osk::makeArgs("/f", osk::O_RDONLY));
+        // p2's fd is not valid in p1 beyond its own table size.
+        char buf[2];
+        c = co_await s.kernel().doSyscall(
+            s.process(), osk::sysno::read,
+            osk::makeArgs(b + 10, buf, 1));
+    }(sys, p2, fd1, fd2, bad));
+    sys.run();
+    EXPECT_GE(fd1, 3); // 0-2 are stdio
+    EXPECT_GE(fd2, 3);
+    EXPECT_EQ(bad, -EBADF);
+}
+
+TEST(Integration, ProcMeminfoReflectsGpuMadvise)
+{
+    // Everything-is-a-file meets memory management: the GPU maps and
+    // touches memory, then /proc shows the RSS drop after madvise.
+    SystemConfig cfg;
+    System sys(cfg);
+    std::int64_t arena = 0;
+    sys.sim().spawn([](System &s, std::int64_t &out) -> sim::Task<> {
+        out = co_await s.kernel().doSyscall(
+            s.process(), osk::sysno::mmap,
+            osk::makeArgs(0, 64 * osk::kPageSize, 3, 0x22, -1, 0));
+    }(sys, arena));
+    sys.run();
+    sys.process().mm().touchUntimed(static_cast<osk::Addr>(arena),
+                                    64 * osk::kPageSize);
+
+    auto read_rss = [&sys]() {
+        std::string content;
+        sys.sim().spawn([](System &s, std::string &out) -> sim::Task<> {
+            char buf[512] = {};
+            const auto fd = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::open,
+                osk::makeArgs("/proc/meminfo", osk::O_RDONLY));
+            co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::read,
+                osk::makeArgs(fd, buf, sizeof buf - 1));
+            out = buf;
+        }(sys, content));
+        sys.run();
+        return content;
+    };
+
+    const std::string before = read_rss();
+    EXPECT_NE(before.find(logging::format(
+                  "rss_bytes %llu",
+                  static_cast<unsigned long long>(64 * osk::kPageSize))),
+              std::string::npos);
+
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys, arena](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        co_await sys.gpuSys().madvise(ctx, weak(),
+                                      static_cast<std::uint64_t>(arena),
+                                      32 * osk::kPageSize,
+                                      osk::MADV_DONTNEED_);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+
+    const std::string after = read_rss();
+    EXPECT_NE(after.find(logging::format(
+                  "rss_bytes %llu",
+                  static_cast<unsigned long long>(32 * osk::kPageSize))),
+              std::string::npos);
+}
+
+TEST(Integration, WorkItemAndWorkGroupCallsCoexistInOneKernel)
+{
+    // grep's pattern: coarse WG calls for setup, per-WI calls for
+    // divergent output, non-blocking teardown — all in one kernel.
+    System sys;
+    sys.kernel().vfs().createFile("/mixed");
+    gpu::KernelLaunch k;
+    k.workItems = 2 * 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const auto fd = co_await sys.gpuSys().open(
+            ctx, weak(), "/mixed", osk::O_WRONLY);
+        Invocation wi;
+        wi.granularity = Granularity::WorkItem;
+        static char lane_bytes[128];
+        co_await sys.gpuSys().invokeWorkItems(
+            ctx, wi, osk::sysno::pwrite64,
+            [&](std::uint32_t lane) -> std::optional<osk::SyscallArgs> {
+                const auto item = ctx.firstWorkItem() + lane;
+                if (item % 2 != 0)
+                    return std::nullopt; // divergence
+                lane_bytes[item] = static_cast<char>('a' + item % 26);
+                return osk::makeArgs(static_cast<int>(fd),
+                                     &lane_bytes[item], 1,
+                                     static_cast<std::int64_t>(item));
+            });
+        Invocation nb = weak();
+        nb.blocking = Blocking::NonBlocking;
+        co_await sys.gpuSys().close(ctx, nb, static_cast<int>(fd));
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+    auto *f = static_cast<osk::RegularFile *>(
+        sys.kernel().vfs().resolve("/mixed"));
+    ASSERT_EQ(f->size(), 127u); // last even item = 126
+    for (std::size_t i = 0; i < f->size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(f->data()[i], 'a' + i % 26) << i;
+        else
+            EXPECT_EQ(f->data()[i], 0) << i;
+    }
+}
+
+} // namespace
+} // namespace genesys::core

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for UDP networking, signals, and CPU/workqueue scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "osk/net.hh"
+#include "osk/params.hh"
+#include "osk/signals.hh"
+#include "osk/workqueue.hh"
+#include "sim/sim.hh"
+
+namespace genesys::osk
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+std::string
+str(const std::vector<std::uint8_t> &v)
+{
+    return {v.begin(), v.end()};
+}
+
+// -------------------------------------------------------------------- UDP
+
+class UdpTest : public ::testing::Test
+{
+  protected:
+    UdpTest() : stack_(sim_.events(), params_) {}
+
+    sim::Sim sim_;
+    OskParams params_;
+    UdpStack stack_;
+};
+
+TEST_F(UdpTest, BindRejectsDuplicateEndpoint)
+{
+    UdpSocket *a = stack_.createSocket();
+    UdpSocket *b = stack_.createSocket();
+    EXPECT_EQ(a->bind({1, 7000}), 0);
+    EXPECT_EQ(b->bind({1, 7000}), -EADDRINUSE);
+    EXPECT_EQ(b->bind({1, 7001}), 0);
+}
+
+TEST_F(UdpTest, SendDeliversToBoundSocket)
+{
+    UdpSocket *server = stack_.createSocket();
+    ASSERT_EQ(server->bind({1, 9000}), 0);
+    UdpSocket *client = stack_.createSocket();
+    ASSERT_EQ(client->bind({2, 1234}), 0);
+
+    std::string got;
+    SockAddr from{};
+    sim_.spawn([](UdpSocket *s, std::string &out,
+                  SockAddr &src) -> sim::Task<> {
+        Datagram d = co_await s->recvFrom(1500);
+        out = str(d.payload);
+        src = d.from;
+    }(server, got, from));
+    sim_.spawn([](UdpSocket *c) -> sim::Task<> {
+        co_await c->sendTo({1, 9000}, bytes("ping"));
+    }(client));
+    sim_.run();
+    EXPECT_EQ(got, "ping");
+    EXPECT_EQ(from.host, 2u);
+    EXPECT_EQ(from.port, 1234u);
+    EXPECT_EQ(stack_.deliveredDatagrams(), 1u);
+}
+
+TEST_F(UdpTest, UnroutableDatagramsDropped)
+{
+    UdpSocket *client = stack_.createSocket();
+    sim_.spawn([](UdpSocket *c) -> sim::Task<> {
+        co_await c->sendTo({9, 9999}, bytes("void"));
+    }(client));
+    sim_.run();
+    EXPECT_EQ(stack_.unroutable(), 1u);
+}
+
+TEST_F(UdpTest, RecvTruncatesOversizedDatagram)
+{
+    UdpSocket *server = stack_.createSocket();
+    ASSERT_EQ(server->bind({1, 9000}), 0);
+    UdpSocket *client = stack_.createSocket();
+    std::string got;
+    sim_.spawn([](UdpSocket *s, std::string &out) -> sim::Task<> {
+        Datagram d = co_await s->recvFrom(4);
+        out = str(d.payload);
+    }(server, got));
+    sim_.spawn([](UdpSocket *c) -> sim::Task<> {
+        co_await c->sendTo({1, 9000}, bytes("truncated"));
+    }(client));
+    sim_.run();
+    EXPECT_EQ(got, "trun");
+}
+
+TEST_F(UdpTest, QueueOverflowDropsNewDatagrams)
+{
+    UdpSocket *server = stack_.createSocket();
+    ASSERT_EQ(server->bind({1, 9000}), 0);
+    for (int i = 0; i < 1100; ++i) {
+        Datagram d;
+        d.payload = bytes("x");
+        stack_.deliver({1, 9000}, std::move(d));
+    }
+    EXPECT_EQ(server->queued(), 1024u);
+    EXPECT_EQ(server->dropped(), 76u);
+}
+
+TEST_F(UdpTest, TryRecvNonBlocking)
+{
+    UdpSocket *server = stack_.createSocket();
+    ASSERT_EQ(server->bind({1, 9000}), 0);
+    Datagram out;
+    EXPECT_FALSE(server->tryRecv(out));
+    Datagram d;
+    d.payload = bytes("hi");
+    stack_.deliver({1, 9000}, std::move(d));
+    EXPECT_TRUE(server->tryRecv(out));
+    EXPECT_EQ(str(out.payload), "hi");
+}
+
+TEST_F(UdpTest, CloseSocketFreesEndpoint)
+{
+    UdpSocket *a = stack_.createSocket();
+    const int id = a->id();
+    ASSERT_EQ(a->bind({1, 7000}), 0);
+    EXPECT_TRUE(stack_.closeSocket(id));
+    EXPECT_FALSE(stack_.closeSocket(id));
+    UdpSocket *b = stack_.createSocket();
+    EXPECT_EQ(b->bind({1, 7000}), 0); // endpoint reusable
+}
+
+// ---------------------------------------------------------------- signals
+
+TEST(Signals, QueueAndWaitDeliversPayload)
+{
+    sim::Sim sim;
+    OskParams params;
+    SignalManager mgr(sim.events(), params);
+    SigInfo got{};
+    sim.spawn([](SignalManager &m, SigInfo &out) -> sim::Task<> {
+        out = co_await m.waitInfo();
+    }(mgr, got));
+    sim.run();
+    SigInfo info;
+    info.signo = SIGRTMIN_;
+    info.value = 0x1234;
+    EXPECT_EQ(mgr.queueInfo(info), 0);
+    sim.run();
+    EXPECT_EQ(got.signo, SIGRTMIN_);
+    EXPECT_EQ(got.value, 0x1234);
+}
+
+TEST(Signals, RealTimeSignalsQueueInOrder)
+{
+    sim::Sim sim;
+    OskParams params;
+    SignalManager mgr(sim.events(), params);
+    for (int i = 0; i < 5; ++i) {
+        SigInfo info;
+        info.signo = SIGRTMIN_;
+        info.value = i;
+        ASSERT_EQ(mgr.queueInfo(info), 0);
+    }
+    EXPECT_EQ(mgr.pending(), 5u);
+    std::vector<std::int64_t> seen;
+    sim.spawn([](SignalManager &m,
+                 std::vector<std::int64_t> &out) -> sim::Task<> {
+        for (int i = 0; i < 5; ++i) {
+            SigInfo s = co_await m.waitInfo();
+            out.push_back(s.value);
+        }
+    }(mgr, seen));
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(mgr.totalQueued(), 5u);
+}
+
+TEST(Signals, BadSignalNumberRejected)
+{
+    sim::Sim sim;
+    OskParams params;
+    SignalManager mgr(sim.events(), params);
+    SigInfo info;
+    info.signo = 0;
+    EXPECT_EQ(mgr.queueInfo(info), -EINVAL);
+    info.signo = 65;
+    EXPECT_EQ(mgr.queueInfo(info), -EINVAL);
+}
+
+// ------------------------------------------------------- CPU & workqueue
+
+TEST(CpuCluster, ComputeOccupiesOneCore)
+{
+    sim::Sim sim;
+    CpuCluster cpus(sim, 4);
+    sim.spawn([](CpuCluster &c) -> sim::Task<> {
+        co_await c.compute(ticks::us(10));
+    }(cpus));
+    const Tick end = sim.run();
+    EXPECT_EQ(end, ticks::us(10));
+    EXPECT_NEAR(cpus.utilization(0, end), 0.25, 1e-9);
+}
+
+TEST(CpuCluster, OversubscriptionSerializes)
+{
+    sim::Sim sim;
+    CpuCluster cpus(sim, 2);
+    for (int i = 0; i < 4; ++i) {
+        sim.spawn([](CpuCluster &c) -> sim::Task<> {
+            co_await c.compute(ticks::us(10));
+        }(cpus));
+    }
+    const Tick end = sim.run();
+    // 4 jobs of 10us on 2 cores = 20us wall clock, 100% busy.
+    EXPECT_EQ(end, ticks::us(20));
+    EXPECT_NEAR(cpus.utilization(0, end), 1.0, 1e-9);
+}
+
+TEST(CpuCluster, UtilizationWindowing)
+{
+    sim::Sim sim;
+    CpuCluster cpus(sim, 1);
+    sim.spawn([](sim::Sim &s, CpuCluster &c) -> sim::Task<> {
+        co_await s.delay(ticks::us(10));
+        co_await c.compute(ticks::us(10));
+    }(sim, cpus));
+    sim.run();
+    EXPECT_NEAR(cpus.utilization(0, ticks::us(10)), 0.0, 1e-9);
+    EXPECT_NEAR(cpus.utilization(ticks::us(10), ticks::us(20)), 1.0,
+                1e-9);
+    EXPECT_NEAR(cpus.utilization(0, ticks::us(20)), 0.5, 1e-9);
+}
+
+TEST(WorkQueue, ExecutesEnqueuedTasks)
+{
+    sim::Sim sim;
+    OskParams params;
+    CpuCluster cpus(sim, 4);
+    WorkQueue wq(sim, cpus, params, 4);
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        wq.enqueue([&sim, &done]() -> sim::Task<> {
+            co_await sim.delay(ticks::us(1));
+            ++done;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_EQ(wq.executedTasks(), 8u);
+    EXPECT_EQ(wq.queuedNow(), 0u);
+}
+
+TEST(WorkQueue, DispatchLatencyCharged)
+{
+    sim::Sim sim;
+    OskParams params;
+    CpuCluster cpus(sim, 1);
+    WorkQueue wq(sim, cpus, params, 1);
+    Tick started = 0;
+    wq.enqueue([&sim, &started]() -> sim::Task<> {
+        started = sim.now();
+        co_return;
+    });
+    sim.run();
+    EXPECT_EQ(started, params.workerDispatch);
+}
+
+TEST(WorkQueue, LimitedWorkersBoundConcurrency)
+{
+    sim::Sim sim;
+    OskParams params;
+    params.workerDispatch = 0;
+    CpuCluster cpus(sim, 4);
+    WorkQueue wq(sim, cpus, params, 2);
+    int active = 0, peak = 0;
+    for (int i = 0; i < 6; ++i) {
+        wq.enqueue([&sim, &active, &peak]() -> sim::Task<> {
+            ++active;
+            peak = std::max(peak, active);
+            co_await sim.delay(ticks::us(5));
+            --active;
+        });
+    }
+    sim.run();
+    EXPECT_EQ(peak, 2);
+}
+
+} // namespace
+} // namespace genesys::osk

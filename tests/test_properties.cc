@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Property and stress tests: randomized sequences checked against
+ * reference models or invariants, parameterized over seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "mem/cache_model.hh"
+#include "osk/mm.hh"
+#include "osk/pipe.hh"
+#include "osk/process.hh"
+#include "osk/syscalls.hh"
+#include "sim/sim.hh"
+#include "support/random.hh"
+#include "workloads/memcached.hh"
+
+namespace genesys
+{
+namespace
+{
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+// ------------------------------------------------------ EventQueue stress
+
+TEST_P(Seeded, EventQueueExecutesInNondecreasingTimeOrder)
+{
+    Random rng(GetParam());
+    sim::EventQueue eq;
+    std::vector<Tick> executed;
+    std::vector<sim::EventId> live;
+    for (int i = 0; i < 2000; ++i) {
+        const int action = static_cast<int>(rng.below(10));
+        if (action < 6) {
+            const Tick when = eq.now() + rng.below(1000);
+            live.push_back(eq.schedule(
+                when, [&executed, &eq] { executed.push_back(eq.now()); }));
+        } else if (action < 8 && !live.empty()) {
+            eq.deschedule(live[rng.below(live.size())]);
+        } else {
+            eq.runOne();
+        }
+    }
+    eq.run();
+    EXPECT_TRUE(std::is_sorted(executed.begin(), executed.end()));
+    EXPECT_TRUE(eq.empty());
+}
+
+// ------------------------------------------- file ops vs reference model
+
+TEST_P(Seeded, RandomFileOpsMatchReferenceModel)
+{
+    Random rng(GetParam() * 31 + 7);
+    sim::Sim sim;
+    osk::Kernel kernel(sim, osk::KernelConfig{});
+    osk::Process &proc = kernel.createProcess();
+    kernel.vfs().createFile("/model");
+
+    auto sys = [&](int num, osk::SyscallArgs args) {
+        std::int64_t ret = -1;
+        sim.spawn([](osk::Kernel &k, osk::Process &p, int n,
+                     osk::SyscallArgs a, std::int64_t &out)
+                      -> sim::Task<> {
+            out = co_await k.doSyscall(p, n, a);
+        }(kernel, proc, num, args, ret));
+        sim.run();
+        return ret;
+    };
+
+    const auto fd = sys(osk::sysno::open,
+                        osk::makeArgs("/model", osk::O_RDWR));
+    ASSERT_GE(fd, 0);
+
+    std::vector<std::uint8_t> model; // reference file contents
+    std::uint64_t model_pos = 0;
+
+    for (int step = 0; step < 300; ++step) {
+        const int op = static_cast<int>(rng.below(4));
+        std::uint8_t buf[64];
+        const std::uint64_t len = rng.below(sizeof buf) + 1;
+        switch (op) {
+          case 0: { // write at current position
+            for (std::uint64_t i = 0; i < len; ++i)
+                buf[i] = static_cast<std::uint8_t>(rng.below(256));
+            const auto n =
+                sys(osk::sysno::write, osk::makeArgs(fd, buf, len));
+            ASSERT_EQ(n, static_cast<std::int64_t>(len));
+            if (model.size() < model_pos + len)
+                model.resize(model_pos + len, 0);
+            std::copy(buf, buf + len, model.begin() + model_pos);
+            model_pos += len;
+            break;
+          }
+          case 1: { // read at current position
+            const auto n =
+                sys(osk::sysno::read, osk::makeArgs(fd, buf, len));
+            const std::uint64_t expect =
+                model_pos >= model.size()
+                    ? 0
+                    : std::min<std::uint64_t>(len,
+                                              model.size() - model_pos);
+            ASSERT_EQ(n, static_cast<std::int64_t>(expect));
+            for (std::uint64_t i = 0; i < expect; ++i)
+                ASSERT_EQ(buf[i], model[model_pos + i]);
+            model_pos += expect;
+            break;
+          }
+          case 2: { // lseek
+            const std::uint64_t target =
+                rng.below(model.size() + 64);
+            ASSERT_EQ(sys(osk::sysno::lseek,
+                          osk::makeArgs(fd, target, osk::SEEK_SET_)),
+                      static_cast<std::int64_t>(target));
+            model_pos = target;
+            break;
+          }
+          case 3: { // pwrite: must not disturb the position
+            const std::uint64_t off = rng.below(model.size() + 16);
+            for (std::uint64_t i = 0; i < len; ++i)
+                buf[i] = static_cast<std::uint8_t>(rng.below(256));
+            ASSERT_EQ(sys(osk::sysno::pwrite64,
+                          osk::makeArgs(fd, buf, len, off)),
+                      static_cast<std::int64_t>(len));
+            if (model.size() < off + len)
+                model.resize(off + len, 0);
+            std::copy(buf, buf + len, model.begin() + off);
+            break;
+          }
+        }
+    }
+    // Final content equality.
+    auto *f = static_cast<osk::RegularFile *>(
+        kernel.vfs().resolve("/model"));
+    ASSERT_EQ(f->size(), model.size());
+    EXPECT_TRUE(std::equal(model.begin(), model.end(),
+                           f->data().begin()));
+}
+
+// -------------------------------------------------- memory-manager fuzz
+
+TEST_P(Seeded, RandomMmInvariantsHold)
+{
+    Random rng(GetParam() * 977 + 3);
+    sim::Sim sim;
+    osk::OskParams params;
+    const std::uint64_t limit_pages = 64;
+    osk::MemoryManager mm(sim.events(), params,
+                          limit_pages * osk::kPageSize);
+
+    struct Mapping
+    {
+        osk::Addr base;
+        std::uint64_t pages;
+    };
+    std::vector<Mapping> mappings;
+
+    for (int step = 0; step < 400; ++step) {
+        const int op = static_cast<int>(rng.below(10));
+        if (op < 3) { // mmap
+            const std::uint64_t pages = rng.below(32) + 1;
+            const osk::Addr base =
+                mm.mmapAnon(pages * osk::kPageSize);
+            ASSERT_NE(base, 0u);
+            mappings.push_back({base, pages});
+        } else if (op < 6 && !mappings.empty()) { // touch a range
+            const auto &m = mappings[rng.below(mappings.size())];
+            const std::uint64_t first = rng.below(m.pages);
+            const std::uint64_t count =
+                rng.below(m.pages - first) + 1;
+            mm.touchUntimed(m.base + first * osk::kPageSize,
+                            count * osk::kPageSize);
+        } else if (op < 8 && !mappings.empty()) { // madvise
+            const auto &m = mappings[rng.below(mappings.size())];
+            ASSERT_EQ(mm.madvise(m.base, m.pages * osk::kPageSize,
+                                 osk::MADV_DONTNEED_),
+                      0);
+        } else if (!mappings.empty()) { // munmap
+            const std::size_t idx = rng.below(mappings.size());
+            ASSERT_TRUE(mm.munmap(mappings[idx].base,
+                                  mappings[idx].pages *
+                                      osk::kPageSize));
+            mappings.erase(mappings.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+        }
+        // Invariants: RSS never exceeds the physical limit; peak is a
+        // high watermark; RSS fits within the mapped footprint.
+        ASSERT_LE(mm.rssBytes(), limit_pages * osk::kPageSize);
+        ASSERT_GE(mm.peakRssBytes(), mm.rssBytes());
+        std::uint64_t mapped = 0;
+        for (const auto &m : mappings)
+            mapped += m.pages * osk::kPageSize;
+        ASSERT_LE(mm.rssBytes() + mm.swappedBytes(), mapped);
+        ASSERT_EQ(mm.vmaCount(), mappings.size());
+    }
+}
+
+// --------------------------------------------------------- cache property
+
+TEST_P(Seeded, LargerCacheNeverMissesMoreOnSameTrace)
+{
+    // LRU inclusion property: doubling capacity (same line size and
+    // set count scaling via associativity) cannot increase misses.
+    Random rng(GetParam() * 13 + 1);
+    std::vector<mem::Addr> trace;
+    for (int i = 0; i < 5000; ++i)
+        trace.push_back(rng.below(512) * 64);
+
+    auto misses = [&trace](std::uint32_t assoc) {
+        mem::CacheParams p;
+        p.lineBytes = 64;
+        p.associativity = assoc;
+        p.sizeBytes = std::uint64_t(64) * 16 * assoc; // 16 sets
+        mem::CacheModel c(p);
+        for (auto a : trace)
+            c.access(a);
+        return c.misses();
+    };
+    EXPECT_GE(misses(2), misses(4));
+    EXPECT_GE(misses(4), misses(8));
+    EXPECT_GE(misses(8), misses(16));
+}
+
+// ----------------------------------------------------------- pipe stream
+
+TEST_P(Seeded, PipePreservesByteStreamUnderRandomInterleaving)
+{
+    Random rng(GetParam() * 101 + 9);
+    sim::Sim sim;
+    osk::PipeInode pipe(sim.events(), /*capacity=*/128);
+    pipe.addReader();
+    pipe.addWriter();
+
+    // Writer pushes a known sequence in random-sized chunks with
+    // random pauses; reader pulls random-sized chunks. FIFO integrity
+    // must hold regardless of interleaving.
+    const std::size_t total = 4096;
+    std::vector<std::uint8_t> sent(total);
+    for (std::size_t i = 0; i < total; ++i)
+        sent[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    std::vector<std::uint8_t> received;
+
+    sim.spawn([](sim::Sim &s, osk::PipeInode &p,
+                 const std::vector<std::uint8_t> &data, Random &r)
+                  -> sim::Task<> {
+        std::size_t off = 0;
+        while (off < data.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(r.below(96) + 1,
+                                      data.size() - off);
+            const auto wrote =
+                co_await p.writeBlocking(data.data() + off, n);
+            EXPECT_GT(wrote, 0);
+            if (wrote <= 0)
+                co_return;
+            off += static_cast<std::size_t>(wrote);
+            if (r.chance(0.3))
+                co_await s.delay(r.below(100) + 1);
+        }
+        p.closeWriter();
+    }(sim, pipe, sent, rng));
+
+    Random rng2(GetParam() + 5);
+    sim.spawn([](sim::Sim &s, osk::PipeInode &p,
+                 std::vector<std::uint8_t> &out, Random &r)
+                  -> sim::Task<> {
+        std::uint8_t buf[128];
+        for (;;) {
+            const auto n = co_await p.readBlocking(
+                buf, r.below(sizeof buf) + 1);
+            if (n == 0)
+                co_return;
+            out.insert(out.end(), buf, buf + n);
+            if (r.chance(0.3))
+                co_await s.delay(r.below(100) + 1);
+        }
+    }(sim, pipe, received, rng2));
+
+    sim.run();
+    ASSERT_EQ(received.size(), sent.size());
+    EXPECT_EQ(received, sent);
+}
+
+// ----------------------------------------------------------- wire fuzz
+
+TEST_P(Seeded, McDecodeNeverCrashesOnGarbage)
+{
+    Random rng(GetParam() * 41 + 17);
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<std::uint8_t> wire(rng.below(64));
+        for (auto &b : wire)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const auto msg = workloads::mcDecode(wire);
+        if (msg.has_value()) {
+            // A successful decode must re-encode consistently.
+            const auto round = workloads::mcEncode(
+                msg->op, msg->key, msg->value);
+            EXPECT_EQ(round.size(), wire.size());
+        }
+    }
+}
+
+TEST_P(Seeded, McEncodeDecodeRoundTrip)
+{
+    Random rng(GetParam() * 3 + 2);
+    for (int i = 0; i < 200; ++i) {
+        const std::string key = rng.lowerAlpha(rng.below(40));
+        std::vector<std::uint8_t> value(rng.below(256));
+        for (auto &b : value)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const auto wire =
+            workloads::mcEncode(workloads::McOp::Set, key, value);
+        const auto msg = workloads::mcDecode(wire);
+        ASSERT_TRUE(msg.has_value());
+        EXPECT_EQ(msg->op, workloads::McOp::Set);
+        EXPECT_EQ(msg->key, key);
+        EXPECT_EQ(msg->value, value);
+    }
+}
+
+// ------------------------------------------------------- barrier property
+
+TEST_P(Seeded, BarrierReleasesExactlyTogetherUnderRandomArrivals)
+{
+    Random rng(GetParam() * 19 + 23);
+    sim::Sim sim;
+    const std::size_t parties = rng.below(14) + 2;
+    sim::Barrier bar(sim.events(), parties);
+    std::vector<Tick> out;
+    Tick latest_arrival = 0;
+    for (std::size_t i = 0; i < parties; ++i) {
+        const Tick arrive = rng.below(10000);
+        latest_arrival = std::max(latest_arrival, arrive);
+        sim.spawn([](sim::Sim &s, sim::Barrier &b, Tick when,
+                     std::vector<Tick> &times) -> sim::Task<> {
+            co_await s.delay(when);
+            co_await b.arriveAndWait();
+            times.push_back(s.now());
+        }(sim, bar, arrive, out));
+    }
+    sim.run();
+    ASSERT_EQ(out.size(), parties);
+    for (Tick t : out)
+        EXPECT_EQ(t, latest_arrival);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+} // namespace
+} // namespace genesys

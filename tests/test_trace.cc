@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the tracing facility and its integration with the
+ * GENESYS pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "osk/file.hh"
+#include "support/trace.hh"
+
+namespace genesys
+{
+namespace
+{
+
+struct Record
+{
+    Tick when;
+    std::string category;
+    std::string message;
+};
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace::reset();
+        trace::setSink([this](Tick when, const std::string &cat,
+                              const std::string &msg) {
+            records_.push_back({when, cat, msg});
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        trace::reset();
+        trace::setSink(nullptr);
+    }
+
+    std::vector<Record> records_;
+};
+
+TEST_F(TraceTest, DisabledCategoriesEmitNothing)
+{
+    sim::EventQueue eq;
+    GENESYS_TRACE(eq, "quiet", "should not appear %d", 1);
+    EXPECT_TRUE(records_.empty());
+    EXPECT_FALSE(trace::enabled("quiet"));
+}
+
+TEST_F(TraceTest, EnabledCategoryEmitsWithTimestamp)
+{
+    sim::EventQueue eq;
+    eq.schedule(1234, [] {});
+    eq.run();
+    trace::enable("unit");
+    GENESYS_TRACE(eq, "unit", "value=%d", 7);
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].when, 1234u);
+    EXPECT_EQ(records_[0].category, "unit");
+    EXPECT_EQ(records_[0].message, "value=7");
+}
+
+TEST_F(TraceTest, AllWildcardAndDisable)
+{
+    sim::EventQueue eq;
+    trace::enable("all");
+    EXPECT_TRUE(trace::enabled("anything"));
+    GENESYS_TRACE(eq, "anything", "on");
+    trace::disable("all");
+    EXPECT_FALSE(trace::enabled("anything"));
+    GENESYS_TRACE(eq, "anything", "off");
+    ASSERT_EQ(records_.size(), 1u);
+    EXPECT_EQ(records_[0].message, "on");
+}
+
+TEST_F(TraceTest, GenesysPipelineEmitsLifecycleRecords)
+{
+    trace::enable("genesys");
+    trace::enable("gpu");
+    trace::enable("syscall");
+
+    core::System sys;
+    sys.kernel().vfs().createFile("/t");
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        core::Invocation weak;
+        weak.ordering = core::Ordering::Relaxed;
+        const auto fd = co_await sys.gpuSys().open(
+            ctx, weak, "/t", osk::O_WRONLY);
+        co_await sys.gpuSys().pwrite(ctx, weak, static_cast<int>(fd),
+                                     "x", 1, 0);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+
+    auto count = [this](const std::string &cat,
+                        const std::string &needle) {
+        int n = 0;
+        for (const auto &r : records_) {
+            if (r.category == cat &&
+                r.message.find(needle) != std::string::npos) {
+                ++n;
+            }
+        }
+        return n;
+    };
+    EXPECT_EQ(count("gpu", "kernel launch"), 1);
+    EXPECT_EQ(count("gpu", "retired"), 1);
+    EXPECT_EQ(count("genesys", "interrupt"), 2);  // open + pwrite
+    EXPECT_EQ(count("genesys", "publishes"), 2);
+    EXPECT_EQ(count("syscall", "open ->"), 1);
+    EXPECT_EQ(count("syscall", "pwrite64 -> 1"), 1);
+    // Timestamps are monotone.
+    for (std::size_t i = 1; i < records_.size(); ++i)
+        EXPECT_LE(records_[i - 1].when, records_[i].when);
+}
+
+TEST_F(TraceTest, EmittedCounterAdvances)
+{
+    sim::EventQueue eq;
+    const auto before = trace::emittedRecords();
+    trace::enable("c");
+    GENESYS_TRACE(eq, "c", "one");
+    GENESYS_TRACE(eq, "c", "two");
+    EXPECT_EQ(trace::emittedRecords(), before + 2);
+}
+
+} // namespace
+} // namespace genesys
