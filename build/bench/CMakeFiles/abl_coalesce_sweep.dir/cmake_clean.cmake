@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coalesce_sweep.dir/abl_coalesce_sweep.cc.o"
+  "CMakeFiles/abl_coalesce_sweep.dir/abl_coalesce_sweep.cc.o.d"
+  "abl_coalesce_sweep"
+  "abl_coalesce_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coalesce_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_host_backend.dir/abl_host_backend.cc.o"
+  "CMakeFiles/abl_host_backend.dir/abl_host_backend.cc.o.d"
+  "abl_host_backend"
+  "abl_host_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_host_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

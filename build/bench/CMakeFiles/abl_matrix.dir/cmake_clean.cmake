@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_matrix.dir/abl_matrix.cc.o"
+  "CMakeFiles/abl_matrix.dir/abl_matrix.cc.o.d"
+  "abl_matrix"
+  "abl_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stdio.dir/abl_stdio.cc.o"
+  "CMakeFiles/abl_stdio.dir/abl_stdio.cc.o.d"
+  "abl_stdio"
+  "abl_stdio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stdio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_granularity.dir/fig07_granularity.cc.o"
+  "CMakeFiles/fig07_granularity.dir/fig07_granularity.cc.o.d"
+  "fig07_granularity"
+  "fig07_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ordering.dir/fig08_ordering.cc.o"
+  "CMakeFiles/fig08_ordering.dir/fig08_ordering.cc.o.d"
+  "fig08_ordering"
+  "fig08_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

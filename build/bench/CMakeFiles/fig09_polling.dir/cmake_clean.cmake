@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_polling.dir/fig09_polling.cc.o"
+  "CMakeFiles/fig09_polling.dir/fig09_polling.cc.o.d"
+  "fig09_polling"
+  "fig09_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_miniamr.dir/fig11_miniamr.cc.o"
+  "CMakeFiles/fig11_miniamr.dir/fig11_miniamr.cc.o.d"
+  "fig11_miniamr"
+  "fig11_miniamr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_miniamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

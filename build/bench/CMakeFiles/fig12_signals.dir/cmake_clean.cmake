@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_signals.dir/fig12_signals.cc.o"
+  "CMakeFiles/fig12_signals.dir/fig12_signals.cc.o.d"
+  "fig12_signals"
+  "fig12_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

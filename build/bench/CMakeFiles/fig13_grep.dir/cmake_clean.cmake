@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_grep.dir/fig13_grep.cc.o"
+  "CMakeFiles/fig13_grep.dir/fig13_grep.cc.o.d"
+  "fig13_grep"
+  "fig13_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_wordcount.dir/fig13_wordcount.cc.o"
+  "CMakeFiles/fig13_wordcount.dir/fig13_wordcount.cc.o.d"
+  "fig13_wordcount"
+  "fig13_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

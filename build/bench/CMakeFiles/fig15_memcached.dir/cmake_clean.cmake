@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_memcached.dir/fig15_memcached.cc.o"
+  "CMakeFiles/fig15_memcached.dir/fig15_memcached.cc.o.d"
+  "fig15_memcached"
+  "fig15_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_framebuffer.dir/fig16_framebuffer.cc.o"
+  "CMakeFiles/fig16_framebuffer.dir/fig16_framebuffer.cc.o.d"
+  "fig16_framebuffer"
+  "fig16_framebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_framebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_apps.dir/tab01_apps.cc.o"
+  "CMakeFiles/tab01_apps.dir/tab01_apps.cc.o.d"
+  "tab01_apps"
+  "tab01_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab02_classification.cc" "bench/CMakeFiles/tab02_classification.dir/tab02_classification.cc.o" "gcc" "bench/CMakeFiles/tab02_classification.dir/tab02_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/genesys_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/genesys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/genesys_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/osk/CMakeFiles/genesys_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genesys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genesys_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/genesys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_classification.dir/tab02_classification.cc.o"
+  "CMakeFiles/tab02_classification.dir/tab02_classification.cc.o.d"
+  "tab02_classification"
+  "tab02_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_atomics.dir/tab04_atomics.cc.o"
+  "CMakeFiles/tab04_atomics.dir/tab04_atomics.cc.o.d"
+  "tab04_atomics"
+  "tab04_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fb_display.dir/fb_display.cpp.o"
+  "CMakeFiles/fb_display.dir/fb_display.cpp.o.d"
+  "fb_display"
+  "fb_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fb_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_grep.dir/gpu_grep.cpp.o"
+  "CMakeFiles/gpu_grep.dir/gpu_grep.cpp.o.d"
+  "gpu_grep"
+  "gpu_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

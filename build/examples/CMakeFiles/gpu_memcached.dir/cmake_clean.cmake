@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_memcached.dir/gpu_memcached.cpp.o"
+  "CMakeFiles/gpu_memcached.dir/gpu_memcached.cpp.o.d"
+  "gpu_memcached"
+  "gpu_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

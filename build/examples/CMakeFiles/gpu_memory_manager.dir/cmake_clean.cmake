@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_memory_manager.dir/gpu_memory_manager.cpp.o"
+  "CMakeFiles/gpu_memory_manager.dir/gpu_memory_manager.cpp.o.d"
+  "gpu_memory_manager"
+  "gpu_memory_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_memory_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_textproc.dir/legacy_textproc.cpp.o"
+  "CMakeFiles/legacy_textproc.dir/legacy_textproc.cpp.o.d"
+  "legacy_textproc"
+  "legacy_textproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_textproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

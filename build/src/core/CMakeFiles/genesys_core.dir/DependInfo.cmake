@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/genesys_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/client.cc.o.d"
+  "/root/repo/src/core/gpu_signals.cc" "src/core/CMakeFiles/genesys_core.dir/gpu_signals.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/gpu_signals.cc.o.d"
+  "/root/repo/src/core/host.cc" "src/core/CMakeFiles/genesys_core.dir/host.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/host.cc.o.d"
+  "/root/repo/src/core/slot.cc" "src/core/CMakeFiles/genesys_core.dir/slot.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/slot.cc.o.d"
+  "/root/repo/src/core/stdio.cc" "src/core/CMakeFiles/genesys_core.dir/stdio.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/stdio.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/genesys_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/genesys_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/genesys_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/osk/CMakeFiles/genesys_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genesys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genesys_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/genesys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

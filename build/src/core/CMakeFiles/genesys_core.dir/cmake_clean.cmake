@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_core.dir/client.cc.o"
+  "CMakeFiles/genesys_core.dir/client.cc.o.d"
+  "CMakeFiles/genesys_core.dir/gpu_signals.cc.o"
+  "CMakeFiles/genesys_core.dir/gpu_signals.cc.o.d"
+  "CMakeFiles/genesys_core.dir/host.cc.o"
+  "CMakeFiles/genesys_core.dir/host.cc.o.d"
+  "CMakeFiles/genesys_core.dir/slot.cc.o"
+  "CMakeFiles/genesys_core.dir/slot.cc.o.d"
+  "CMakeFiles/genesys_core.dir/stdio.cc.o"
+  "CMakeFiles/genesys_core.dir/stdio.cc.o.d"
+  "CMakeFiles/genesys_core.dir/system.cc.o"
+  "CMakeFiles/genesys_core.dir/system.cc.o.d"
+  "libgenesys_core.a"
+  "libgenesys_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_gpu.dir/gpu.cc.o"
+  "CMakeFiles/genesys_gpu.dir/gpu.cc.o.d"
+  "libgenesys_gpu.a"
+  "libgenesys_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

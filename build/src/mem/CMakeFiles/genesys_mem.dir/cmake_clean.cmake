@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_mem.dir/cache_model.cc.o"
+  "CMakeFiles/genesys_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/genesys_mem.dir/mem_bus.cc.o"
+  "CMakeFiles/genesys_mem.dir/mem_bus.cc.o.d"
+  "libgenesys_mem.a"
+  "libgenesys_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osk/block_device.cc" "src/osk/CMakeFiles/genesys_osk.dir/block_device.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/block_device.cc.o.d"
+  "/root/repo/src/osk/classification.cc" "src/osk/CMakeFiles/genesys_osk.dir/classification.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/classification.cc.o.d"
+  "/root/repo/src/osk/devices.cc" "src/osk/CMakeFiles/genesys_osk.dir/devices.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/devices.cc.o.d"
+  "/root/repo/src/osk/file.cc" "src/osk/CMakeFiles/genesys_osk.dir/file.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/file.cc.o.d"
+  "/root/repo/src/osk/mm.cc" "src/osk/CMakeFiles/genesys_osk.dir/mm.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/mm.cc.o.d"
+  "/root/repo/src/osk/net.cc" "src/osk/CMakeFiles/genesys_osk.dir/net.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/net.cc.o.d"
+  "/root/repo/src/osk/pipe.cc" "src/osk/CMakeFiles/genesys_osk.dir/pipe.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/pipe.cc.o.d"
+  "/root/repo/src/osk/process.cc" "src/osk/CMakeFiles/genesys_osk.dir/process.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/process.cc.o.d"
+  "/root/repo/src/osk/signals.cc" "src/osk/CMakeFiles/genesys_osk.dir/signals.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/signals.cc.o.d"
+  "/root/repo/src/osk/syscalls.cc" "src/osk/CMakeFiles/genesys_osk.dir/syscalls.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/syscalls.cc.o.d"
+  "/root/repo/src/osk/sysfs.cc" "src/osk/CMakeFiles/genesys_osk.dir/sysfs.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/sysfs.cc.o.d"
+  "/root/repo/src/osk/vfs.cc" "src/osk/CMakeFiles/genesys_osk.dir/vfs.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/vfs.cc.o.d"
+  "/root/repo/src/osk/workqueue.cc" "src/osk/CMakeFiles/genesys_osk.dir/workqueue.cc.o" "gcc" "src/osk/CMakeFiles/genesys_osk.dir/workqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/genesys_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/genesys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

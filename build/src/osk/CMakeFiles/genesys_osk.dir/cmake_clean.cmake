@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_osk.dir/block_device.cc.o"
+  "CMakeFiles/genesys_osk.dir/block_device.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/classification.cc.o"
+  "CMakeFiles/genesys_osk.dir/classification.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/devices.cc.o"
+  "CMakeFiles/genesys_osk.dir/devices.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/file.cc.o"
+  "CMakeFiles/genesys_osk.dir/file.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/mm.cc.o"
+  "CMakeFiles/genesys_osk.dir/mm.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/net.cc.o"
+  "CMakeFiles/genesys_osk.dir/net.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/pipe.cc.o"
+  "CMakeFiles/genesys_osk.dir/pipe.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/process.cc.o"
+  "CMakeFiles/genesys_osk.dir/process.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/signals.cc.o"
+  "CMakeFiles/genesys_osk.dir/signals.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/syscalls.cc.o"
+  "CMakeFiles/genesys_osk.dir/syscalls.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/sysfs.cc.o"
+  "CMakeFiles/genesys_osk.dir/sysfs.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/vfs.cc.o"
+  "CMakeFiles/genesys_osk.dir/vfs.cc.o.d"
+  "CMakeFiles/genesys_osk.dir/workqueue.cc.o"
+  "CMakeFiles/genesys_osk.dir/workqueue.cc.o.d"
+  "libgenesys_osk.a"
+  "libgenesys_osk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_osk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

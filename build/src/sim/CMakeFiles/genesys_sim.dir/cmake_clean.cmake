@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_sim.dir/event_queue.cc.o"
+  "CMakeFiles/genesys_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/genesys_sim.dir/sim.cc.o"
+  "CMakeFiles/genesys_sim.dir/sim.cc.o.d"
+  "libgenesys_sim.a"
+  "libgenesys_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

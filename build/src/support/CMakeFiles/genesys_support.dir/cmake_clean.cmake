@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_support.dir/logging.cc.o"
+  "CMakeFiles/genesys_support.dir/logging.cc.o.d"
+  "CMakeFiles/genesys_support.dir/stats.cc.o"
+  "CMakeFiles/genesys_support.dir/stats.cc.o.d"
+  "CMakeFiles/genesys_support.dir/table.cc.o"
+  "CMakeFiles/genesys_support.dir/table.cc.o.d"
+  "CMakeFiles/genesys_support.dir/trace.cc.o"
+  "CMakeFiles/genesys_support.dir/trace.cc.o.d"
+  "libgenesys_support.a"
+  "libgenesys_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

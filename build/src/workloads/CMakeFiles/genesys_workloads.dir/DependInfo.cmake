@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fbdisplay.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/fbdisplay.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/fbdisplay.cc.o.d"
+  "/root/repo/src/workloads/grep.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/grep.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/grep.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/memcached.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/memcached.cc.o.d"
+  "/root/repo/src/workloads/miniamr.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/miniamr.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/miniamr.cc.o.d"
+  "/root/repo/src/workloads/permute.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/permute.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/permute.cc.o.d"
+  "/root/repo/src/workloads/sha512.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/sha512.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/sha512.cc.o.d"
+  "/root/repo/src/workloads/signal_search.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/signal_search.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/signal_search.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "src/workloads/CMakeFiles/genesys_workloads.dir/wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/genesys_workloads.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/genesys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/genesys_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/osk/CMakeFiles/genesys_osk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genesys_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genesys_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/genesys_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

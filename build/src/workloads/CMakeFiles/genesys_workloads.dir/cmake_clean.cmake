@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genesys_workloads.dir/fbdisplay.cc.o"
+  "CMakeFiles/genesys_workloads.dir/fbdisplay.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/grep.cc.o"
+  "CMakeFiles/genesys_workloads.dir/grep.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/memcached.cc.o"
+  "CMakeFiles/genesys_workloads.dir/memcached.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/miniamr.cc.o"
+  "CMakeFiles/genesys_workloads.dir/miniamr.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/permute.cc.o"
+  "CMakeFiles/genesys_workloads.dir/permute.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/sha512.cc.o"
+  "CMakeFiles/genesys_workloads.dir/sha512.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/signal_search.cc.o"
+  "CMakeFiles/genesys_workloads.dir/signal_search.cc.o.d"
+  "CMakeFiles/genesys_workloads.dir/wordcount.cc.o"
+  "CMakeFiles/genesys_workloads.dir/wordcount.cc.o.d"
+  "libgenesys_workloads.a"
+  "libgenesys_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genesys_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenesys_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osk_ipc.dir/test_osk_ipc.cc.o"
+  "CMakeFiles/test_osk_ipc.dir/test_osk_ipc.cc.o.d"
+  "test_osk_ipc"
+  "test_osk_ipc.pdb"
+  "test_osk_ipc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osk_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

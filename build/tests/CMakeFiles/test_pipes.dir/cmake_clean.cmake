@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipes.dir/test_pipes.cc.o"
+  "CMakeFiles/test_pipes.dir/test_pipes.cc.o.d"
+  "test_pipes"
+  "test_pipes.pdb"
+  "test_pipes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

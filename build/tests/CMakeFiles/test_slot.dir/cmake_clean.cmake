@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slot.dir/test_slot.cc.o"
+  "CMakeFiles/test_slot.dir/test_slot.cc.o.d"
+  "test_slot"
+  "test_slot.pdb"
+  "test_slot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

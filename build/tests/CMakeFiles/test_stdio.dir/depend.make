@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stdio.
+# This may be replaced when dependencies are built.
