@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Ablation: end-to-end resilience under deterministic fault injection.
+ *
+ * Part 1 runs every end-to-end workload with a ~1% transient-fault
+ * plan (EINTR + EAGAIN + short transfers on the GPU service path,
+ * plus 1% SSD latency spikes) and checks functional correctness: the
+ * POSIX recovery layers — GPU-client restart/continuation loops and
+ * host-side recovery for non-blocking slots — must make injected
+ * transients invisible to the workloads.
+ *
+ * Part 2 sweeps the fault rate on grep/WG and reports the runtime
+ * overhead of recovery, which is the cost model for the robustness
+ * the paper's Section IX worries about.
+ *
+ * Everything is seeded: rerunning this binary produces bit-identical
+ * output.
+ */
+
+#include "bench/common.hh"
+#include "workloads/fbdisplay.hh"
+#include "workloads/grep.hh"
+#include "workloads/memcached.hh"
+#include "workloads/miniamr.hh"
+#include "workloads/signal_search.hh"
+#include "workloads/wordcount.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+
+namespace
+{
+
+constexpr std::uint64_t kSeed = 42;
+
+/** ~1% total transient-fault probability per GPU-serviced dispatch. */
+osk::FaultConfig
+onePercentPlan()
+{
+    osk::FaultConfig cfg;
+    cfg.seed = kSeed;
+    cfg.eintrPpm = 4000;
+    cfg.eagainPpm = 2000;
+    cfg.shortPpm = 4000;
+    cfg.deviceDelayPpm = 10'000;
+    cfg.deviceDelay = ticks::us(400);
+    return cfg;
+}
+
+struct RunStats
+{
+    bool correct = false;
+    Tick elapsed = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t shortTransfers = 0;
+    std::uint64_t hostRestarts = 0;
+};
+
+RunStats
+collect(core::System &sys, bool correct, Tick elapsed)
+{
+    RunStats s;
+    s.correct = correct;
+    s.elapsed = elapsed;
+    s.injected = sys.kernel().faults().injected();
+    s.retries = sys.gpuSys().syscallRetries();
+    s.shortTransfers = sys.gpuSys().shortTransfers();
+    s.hostRestarts = sys.host().hostRestarts();
+    return s;
+}
+
+RunStats
+runGrepFaulted(const osk::FaultConfig &plan)
+{
+    core::System sys = freshSystem(kSeed);
+    workloads::GrepCorpusConfig cc;
+    cc.numFiles = 64;
+    cc.fileBytes = 8 * 1024;
+    const auto corpus = workloads::buildGrepCorpus(sys, cc);
+    sys.kernel().faults().configure(plan);
+    const auto r =
+        workloads::runGrep(sys, corpus, workloads::GrepMode::GpuWorkGroup);
+    return collect(sys, r.correct, r.elapsed);
+}
+
+RunStats
+runWordcountFaulted(const osk::FaultConfig &plan)
+{
+    core::System sys = freshSystem(kSeed);
+    workloads::WordcountCorpusConfig cc;
+    cc.numFiles = 16;
+    cc.fileBytes = 64 * 1024;
+    const auto corpus = workloads::buildWordcountCorpus(sys, cc);
+    sys.kernel().faults().configure(plan);
+    const auto r = workloads::runWordcount(
+        sys, corpus, workloads::WordcountMode::Genesys);
+    return collect(sys, r.correct, r.elapsed);
+}
+
+RunStats
+runMemcachedFaulted()
+{
+    core::System sys = freshSystem(kSeed);
+    sys.kernel().faults().configure(onePercentPlan());
+    workloads::MemcachedConfig cfg;
+    cfg.elemsPerBucket = 64;
+    cfg.numGets = 128;
+    cfg.useGpu = true;
+    const auto r = workloads::runMemcached(sys, cfg);
+    return collect(sys, r.correct, r.elapsed);
+}
+
+RunStats
+runMiniAmrFaulted()
+{
+    core::SystemConfig scfg;
+    scfg.seed = kSeed;
+    scfg.kernel.physMemBytes = 256ull * 1024 * 1024;
+    core::System sys(scfg);
+    sys.kernel().faults().configure(onePercentPlan());
+    workloads::MiniAmrConfig cfg;
+    cfg.datasetBytes = 272ull * 1024 * 1024;
+    cfg.blockBytes = 4ull * 1024 * 1024;
+    cfg.timesteps = 12;
+    cfg.rssWatermarkBytes = 200ull * 1024 * 1024;
+    const auto r = workloads::runMiniAmr(sys, cfg);
+    return collect(sys, r.completed && !r.gpuTimeout, r.elapsed);
+}
+
+RunStats
+runSignalSearchFaulted()
+{
+    core::System sys = freshSystem(kSeed);
+    sys.kernel().faults().configure(onePercentPlan());
+    workloads::SignalSearchConfig cfg;
+    cfg.numBlocks = 96;
+    cfg.blockBytes = 16 * 1024;
+    cfg.lookupQueriesPerBlock = 20'000;
+    cfg.useSignals = true;
+    const auto r = workloads::runSignalSearch(sys, cfg);
+    return collect(sys, r.correct, r.elapsed);
+}
+
+RunStats
+runFbDisplayFaulted()
+{
+    core::System sys = freshSystem(kSeed);
+    sys.kernel().faults().configure(onePercentPlan());
+    workloads::FbDisplayConfig cfg;
+    cfg.width = 320;
+    cfg.height = 240;
+    const auto r = workloads::runFbDisplay(sys, cfg);
+    return collect(sys, r.ok && r.pixelErrors == 0, r.elapsed);
+}
+
+void
+addRow(TextTable &t, const char *name, const RunStats &s)
+{
+    t.addRow({name, s.correct ? "yes" : "NO",
+              std::to_string(s.injected), std::to_string(s.retries),
+              std::to_string(s.shortTransfers),
+              std::to_string(s.hostRestarts),
+              std::to_string(ticks::toMs(s.elapsed))});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("abl_faults",
+           "Workload resilience under a seeded ~1% fault plan "
+           "(EINTR/EAGAIN/short transfers + SSD latency spikes)");
+
+    TextTable t1("all workloads, 1% transient-fault plan");
+    t1.setHeader({"workload", "correct", "faults_injected",
+                  "syscall_retries", "short_transfers",
+                  "host_restarts", "elapsed_ms"});
+    addRow(t1, "grep/wg", runGrepFaulted(onePercentPlan()));
+    addRow(t1, "wordcount/genesys",
+           runWordcountFaulted(onePercentPlan()));
+    addRow(t1, "memcached/gpu", runMemcachedFaulted());
+    addRow(t1, "miniamr/madvise", runMiniAmrFaulted());
+    addRow(t1, "signal_search", runSignalSearchFaulted());
+    addRow(t1, "fbdisplay", runFbDisplayFaulted());
+    std::printf("%s\n", t1.render().c_str());
+
+    TextTable t2("grep/wg, fault-rate sweep (recovery overhead)");
+    t2.setHeader({"fault_rate", "correct", "faults_injected",
+                  "syscall_retries", "elapsed_ms", "overhead_%"});
+    double clean_ms = 0.0;
+    for (const std::uint32_t ppm : {0u, 1000u, 10'000u, 50'000u}) {
+        osk::FaultConfig plan;
+        plan.seed = kSeed;
+        // Split the budget across the transient classes 2:1:2, like
+        // the 1% plan above.
+        plan.eintrPpm = ppm * 2 / 5;
+        plan.eagainPpm = ppm / 5;
+        plan.shortPpm = ppm * 2 / 5;
+        plan.deviceDelayPpm = ppm;
+        const RunStats s = runGrepFaulted(plan);
+        const double ms = ticks::toMs(s.elapsed);
+        if (ppm == 0)
+            clean_ms = ms;
+        char rate[16], over[16];
+        std::snprintf(rate, sizeof rate, "%.1f%%", ppm / 10'000.0);
+        std::snprintf(over, sizeof over, "%.2f",
+                      clean_ms > 0.0 ? (ms / clean_ms - 1.0) * 100.0
+                                     : 0.0);
+        t2.addRow({rate, s.correct ? "yes" : "NO",
+                   std::to_string(s.injected),
+                   std::to_string(s.retries), std::to_string(ms),
+                   over});
+    }
+    std::printf("%s\n", t2.render().c_str());
+    return 0;
+}

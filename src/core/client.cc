@@ -5,6 +5,8 @@
 
 #include "client.hh"
 
+#include <cerrno>
+
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -103,9 +105,9 @@ GpuSyscalls::waitSlots(
 }
 
 sim::Task<std::int64_t>
-GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
-                          int sysno, osk::SyscallArgs args,
-                          std::uint32_t item_slot)
+GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
+                       int sysno, const osk::SyscallArgs &args,
+                       std::uint32_t item_slot)
 {
     SyscallSlot &slot = area_.slot(item_slot);
     const mem::Addr addr = area_.slotAddr(item_slot);
@@ -136,6 +138,56 @@ GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
                            result = r;
                        });
     co_return result;
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
+                          int sysno, osk::SyscallArgs args,
+                          std::uint32_t item_slot)
+{
+    // Non-blocking requesters never see the result, so there is
+    // nothing to recover here; the host restarts those on our behalf.
+    if (inv.blocking == Blocking::NonBlocking)
+        co_return co_await issueOnce(ctx, inv, sysno, args, item_slot);
+
+    const bool transfer = osk::transferSyscall(sysno);
+    const std::uint64_t want = transfer ? args.a[2] : 0;
+    std::uint64_t done = 0;
+    std::uint32_t restarts = 0;
+    std::uint32_t congested = 0;
+    for (;;) {
+        const std::int64_t ret =
+            co_await issueOnce(ctx, inv, sysno, args, item_slot);
+        if (ret == -EINTR && restarts < params_.eintrMaxRestarts) {
+            // SA_RESTART semantics: reissue with identical arguments.
+            ++restarts;
+            ++retries_;
+            continue;
+        }
+        if (ret == -EAGAIN && congested < params_.eagainMaxRetries) {
+            co_await ctx.compute(params_.eagainBackoffCycles
+                                 << congested);
+            ++congested;
+            ++retries_;
+            continue;
+        }
+        if (!transfer)
+            co_return ret;
+        if (ret < 0) {
+            // A partially-completed transfer reports its progress (the
+            // readn/writen convention); an error on the first round
+            // surfaces as-is.
+            co_return done > 0 ? static_cast<std::int64_t>(done) : ret;
+        }
+        done += static_cast<std::uint64_t>(ret);
+        restarts = 0;
+        congested = 0;
+        if (ret == 0 || done >= want)
+            co_return static_cast<std::int64_t>(done);
+        ++shortTransfers_;
+        osk::advanceTransferArgs(sysno, args,
+                                 static_cast<std::uint64_t>(ret));
+    }
 }
 
 sim::Task<std::int64_t>
@@ -225,48 +277,127 @@ GpuSyscalls::invokeWorkItems(
     if (inv.role == Role::Consumer)
         co_await sim::Delay(ctx.sim().events(), params_.l1FlushCost);
 
-    // Claim every active lane's slot. The SIMD unit issues the
-    // cmp-swaps as one wavefront instruction: the first lane pays the
-    // full fabric latency, the rest pipeline behind it.
-    bool first = true;
+    // Per-lane recovery state: each lane runs its own readn/writen
+    // continuation + EINTR/EAGAIN retry budget, but rounds stay
+    // wavefront-wide (all still-pending lanes reissue together, one
+    // interrupt per round) to keep the SIMD issue model.
+    const bool transfer = osk::transferSyscall(sysno);
+    struct LaneRec
+    {
+        std::uint64_t want = 0;
+        std::uint64_t done = 0;
+        std::uint32_t restarts = 0;
+        std::uint32_t congested = 0;
+    };
+    std::vector<LaneRec> rec(ctx.laneCount());
     for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
-        if ((mask & (1ull << lane)) == 0)
-            continue;
-        SyscallSlot &slot = area_.slot(first_slot + lane);
-        const mem::Addr addr = area_.slotAddr(first_slot + lane);
-        for (;;) {
-            co_await gpu_.accessLine(addr,
-                                     first ? gpu_.config().atomicCmpSwap
-                                           : params_.perLanePopulate);
-            if (slot.claim())
-                break;
-            co_await ctx.compute(params_.pollIntervalCycles);
+        if (mask & (1ull << lane))
+            rec[lane].want = transfer ? args[lane].a[2] : 0;
+    }
+
+    std::uint64_t pending = mask;
+    while (pending != 0) {
+        // Claim every pending lane's slot. The SIMD unit issues the
+        // cmp-swaps as one wavefront instruction: the first lane pays
+        // the full fabric latency, the rest pipeline behind it.
+        bool first = true;
+        for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+            if ((pending & (1ull << lane)) == 0)
+                continue;
+            SyscallSlot &slot = area_.slot(first_slot + lane);
+            const mem::Addr addr = area_.slotAddr(first_slot + lane);
+            for (;;) {
+                co_await gpu_.accessLine(
+                    addr, first ? gpu_.config().atomicCmpSwap
+                                : params_.perLanePopulate);
+                if (slot.claim())
+                    break;
+                co_await ctx.compute(params_.pollIntervalCycles);
+            }
+            first = false;
         }
-        first = false;
+
+        // Populate and publish each slot; again pipelined across
+        // lanes.
+        first = true;
+        for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+            if ((pending & (1ull << lane)) == 0)
+                continue;
+            SyscallSlot &slot = area_.slot(first_slot + lane);
+            const mem::Addr addr = area_.slotAddr(first_slot + lane);
+            co_await gpu_.accessLine(addr,
+                                     first ? gpu_.config().atomicSwap
+                                           : params_.perLanePopulate);
+            slot.publish(sysno, args[lane],
+                         inv.blocking == Blocking::Blocking,
+                         inv.waitMode, ctx.hwWaveSlot());
+            ++issued_;
+            first = false;
+        }
+
+        // One scalar s_sendmsg for the whole wavefront.
+        gpu_.sendInterrupt(ctx.hwWaveSlot());
+
+        if (inv.blocking == Blocking::NonBlocking)
+            co_return; // fire-and-forget: host recovers on our behalf
+
+        std::uint64_t next = 0;
+        bool backoff = false;
+        co_await waitSlots(
+            ctx, inv, first_slot, pending,
+            [&](std::uint32_t lane, std::int64_t ret) {
+                LaneRec &r = rec[lane];
+                if (ret == -EINTR &&
+                    r.restarts < params_.eintrMaxRestarts) {
+                    ++r.restarts;
+                    ++retries_;
+                    next |= 1ull << lane;
+                    return;
+                }
+                if (ret == -EAGAIN &&
+                    r.congested < params_.eagainMaxRetries) {
+                    ++r.congested;
+                    ++retries_;
+                    backoff = true;
+                    next |= 1ull << lane;
+                    return;
+                }
+                if (!transfer) {
+                    if (on_result)
+                        on_result(lane, ret);
+                    return;
+                }
+                if (ret < 0) {
+                    if (on_result)
+                        on_result(lane,
+                                  r.done > 0
+                                      ? static_cast<std::int64_t>(
+                                            r.done)
+                                      : ret);
+                    return;
+                }
+                r.done += static_cast<std::uint64_t>(ret);
+                r.restarts = 0;
+                r.congested = 0;
+                if (ret != 0 && r.done < r.want) {
+                    ++shortTransfers_;
+                    osk::advanceTransferArgs(
+                        sysno, args[lane],
+                        static_cast<std::uint64_t>(ret));
+                    next |= 1ull << lane;
+                    return;
+                }
+                if (on_result)
+                    on_result(lane,
+                              static_cast<std::int64_t>(r.done));
+            });
+        if (backoff) {
+            // One wavefront-wide stall covers every congested lane
+            // (they retry together anyway).
+            co_await ctx.compute(params_.eagainBackoffCycles);
+        }
+        pending = next;
     }
-
-    // Populate and publish each slot; again pipelined across lanes.
-    first = true;
-    for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
-        if ((mask & (1ull << lane)) == 0)
-            continue;
-        SyscallSlot &slot = area_.slot(first_slot + lane);
-        const mem::Addr addr = area_.slotAddr(first_slot + lane);
-        co_await gpu_.accessLine(addr, first ? gpu_.config().atomicSwap
-                                             : params_.perLanePopulate);
-        slot.publish(sysno, args[lane],
-                     inv.blocking == Blocking::Blocking, inv.waitMode,
-                     ctx.hwWaveSlot());
-        ++issued_;
-        first = false;
-    }
-
-    // One scalar s_sendmsg for the whole wavefront.
-    gpu_.sendInterrupt(ctx.hwWaveSlot());
-
-    if (inv.blocking == Blocking::Blocking)
-        co_await waitSlots(ctx, inv, first_slot, mask,
-                           std::move(on_result));
 }
 
 // --------------------------------------------------------- POSIX wrappers

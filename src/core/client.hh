@@ -173,17 +173,35 @@ class GpuSyscalls
 
     // ---- stats -----------------------------------------------------
     std::uint64_t issuedRequests() const { return issued_; }
+    /** Transparent EINTR restarts + EAGAIN retries performed. */
+    std::uint64_t syscallRetries() const { return retries_; }
+    /** Short read/write results continued with a follow-up request. */
+    std::uint64_t shortTransfers() const { return shortTransfers_; }
 
   private:
     /**
-     * Leader-lane issue path: claim slot, populate, publish, raise the
-     * interrupt, and (for blocking calls) wait and consume the result.
+     * Leader-lane recovery wrapper (the libc layer of the GPU client):
+     * restarts -EINTR results, retries -EAGAIN with bounded
+     * exponential backoff, and reissues short read/write transfers
+     * for the remaining bytes, returning the accumulated count. Runs
+     * entirely in the leader's serial section, so no barrier in the
+     * granularity wrappers is ever re-crossed.
      */
     sim::Task<std::int64_t> issueAndWait(gpu::WavefrontCtx &ctx,
                                          Invocation inv,
                                          int sysno,
                                          osk::SyscallArgs args,
                                          std::uint32_t item_slot);
+
+    /**
+     * One issue round: claim slot, populate, publish, raise the
+     * interrupt, and (for blocking calls) wait and consume the result.
+     */
+    sim::Task<std::int64_t> issueOnce(gpu::WavefrontCtx &ctx,
+                                      Invocation inv,
+                                      int sysno,
+                                      const osk::SyscallArgs &args,
+                                      std::uint32_t item_slot);
 
     /** Claim the slot, retrying while it is busy. */
     sim::Task<> claimSlot(gpu::WavefrontCtx &ctx,
@@ -200,6 +218,8 @@ class GpuSyscalls
     SyscallArea &area_;
     GenesysParams params_;
     std::uint64_t issued_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t shortTransfers_ = 0;
 };
 
 } // namespace genesys::core

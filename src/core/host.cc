@@ -5,6 +5,7 @@
 
 #include "host.hh"
 
+#include <cerrno>
 #include <utility>
 
 #include "osk/sysfs.hh"
@@ -132,6 +133,47 @@ GenesysHost::serviceBatch(std::vector<std::uint32_t> waves)
     drainWait_->notifyAll();
 }
 
+sim::Task<std::int64_t>
+GenesysHost::executeSlotCall(const SyscallSlot &slot)
+{
+    const int sysno = slot.sysno();
+    osk::SyscallArgs args = slot.args();
+
+    std::int64_t ret =
+        co_await kernel_.doSyscallFaultable(proc_, sysno, args);
+    if (slot.blocking())
+        co_return ret; // requester-side libc layer recovers
+
+    const bool transfer = osk::transferSyscall(sysno);
+    const std::uint64_t want = transfer ? args.a[2] : 0;
+    std::uint64_t done = 0;
+    std::uint32_t rounds = 0;
+    for (;;) {
+        if ((ret == -EINTR || ret == -EAGAIN) &&
+            rounds < params_.eintrMaxRestarts) {
+            ++rounds;
+            ++hostRestarts_;
+            ret = co_await kernel_.doSyscallFaultable(proc_, sysno,
+                                                      args);
+            continue;
+        }
+        if (!transfer || ret <= 0)
+            break;
+        done += static_cast<std::uint64_t>(ret);
+        if (done >= want)
+            break;
+        if (rounds >= params_.eintrMaxRestarts)
+            break;
+        ++rounds;
+        ++hostRestarts_;
+        osk::advanceTransferArgs(sysno, args,
+                                 static_cast<std::uint64_t>(ret));
+        ret = co_await kernel_.doSyscallFaultable(proc_, sysno, args);
+    }
+    co_return transfer && done > 0 ? static_cast<std::int64_t>(done)
+                                   : ret;
+}
+
 sim::Task<int>
 GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot)
 {
@@ -151,8 +193,7 @@ GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot)
             slot.sysno() == osk::sysno::nanosleep;
         if (may_block)
             kernel_.cpus().releaseCore();
-        const std::int64_t ret = co_await kernel_.doSyscall(
-            proc_, slot.sysno(), slot.args());
+        const std::int64_t ret = co_await executeSlotCall(slot);
         if (may_block)
             co_await kernel_.cpus().acquireCore();
         GENESYS_TRACE(kernel_.sim(), "syscall",
@@ -175,16 +216,7 @@ GenesysHost::drain()
 {
     if (daemonRunning_) {
         // Daemon mode has no in-flight counter; poll area quiescence.
-        auto quiescent = [this] {
-            for (std::size_t i = 0; i < area_.slotCount(); ++i) {
-                if (area_.slot(static_cast<std::uint32_t>(i)).state() !=
-                    SlotState::Free) {
-                    return false;
-                }
-            }
-            return true;
-        };
-        while (!quiescent())
+        while (!area_.quiescent())
             co_await sim::Delay(kernel_.sim().events(), ticks::us(10));
         co_return;
     }
@@ -222,8 +254,7 @@ GenesysHost::daemonLoop(Tick scan_interval)
             // Thunking into the kernel costs a user/kernel crossing
             // beyond the syscall itself (Section IX, related work).
             co_await sim::Delay(eq, osk_params.syscallBase);
-            const std::int64_t ret = co_await kernel_.doSyscall(
-                proc_, slot.sysno(), slot.args());
+            const std::int64_t ret = co_await executeSlotCall(slot);
             const bool wake = slot.blocking() &&
                               slot.waitMode() == WaitMode::HaltResume;
             slot.complete(ret);

@@ -79,6 +79,8 @@ class GenesysHost
     std::uint64_t processedSyscalls() const { return processed_; }
     const stats::Distribution &batchSizes() const { return batchSizes_; }
     std::uint64_t inFlight() const { return inFlight_; }
+    /** Fault recoveries the host performed for non-blocking slots. */
+    std::uint64_t hostRestarts() const { return hostRestarts_; }
 
   private:
     void flushPendingBatch();
@@ -87,6 +89,17 @@ class GenesysHost
     /** Process every ready slot of @p hw_wave_slot; @return count. */
     sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot);
     sim::Task<> daemonLoop(Tick scan_interval);
+
+    /**
+     * Execute @p slot's call through the fault-injectable dispatch
+     * path. Blocking slots get the raw (possibly faulted) result —
+     * the GPU requester owns recovery. For non-blocking slots nobody
+     * reads the result, so the host itself restarts transient faults
+     * and continues short transfers; otherwise an injected EINTR
+     * would silently swallow a fire-and-forget call (e.g. a dropped
+     * rt_sigqueueinfo in the signal-search workload).
+     */
+    sim::Task<std::int64_t> executeSlotCall(const SyscallSlot &slot);
 
     osk::Kernel &kernel_;
     gpu::GpuDevice &gpu_;
@@ -104,6 +117,7 @@ class GenesysHost
     std::uint64_t batches_ = 0;
     std::uint64_t processed_ = 0;
     std::uint64_t inFlight_ = 0;
+    std::uint64_t hostRestarts_ = 0;
     stats::Distribution batchSizes_{"genesys.batch_size"};
     std::unique_ptr<sim::WaitQueue> drainWait_;
 };

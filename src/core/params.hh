@@ -40,6 +40,16 @@ struct GenesysParams
     /// the sysfs-style interface GenesysHost exposes.
     Tick coalesceWindow = 0;
     std::uint32_t coalesceMaxBatch = 1;
+
+    /// POSIX error-path recovery (GPU client + host service path).
+    /// A blocking requester transparently restarts -EINTR results up
+    /// to this many times per call before surfacing the error.
+    std::uint32_t eintrMaxRestarts = 64;
+    /// -EAGAIN is retried with exponential backoff at most this many
+    /// times; the first wait is eagainBackoffCycles GPU cycles and
+    /// doubles per consecutive retry.
+    std::uint32_t eagainMaxRetries = 8;
+    std::uint64_t eagainBackoffCycles = 1024;
 };
 
 } // namespace genesys::core

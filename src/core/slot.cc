@@ -29,11 +29,42 @@ slotStateName(SlotState s)
 }
 
 bool
+slotTransitionLegal(SlotState from, SlotState to, bool blocking)
+{
+    switch (from) {
+      case SlotState::Free:
+        return to == SlotState::Populating;
+      case SlotState::Populating:
+        return to == SlotState::Ready;
+      case SlotState::Ready:
+        return to == SlotState::Processing;
+      case SlotState::Processing:
+        return blocking ? to == SlotState::Finished
+                        : to == SlotState::Free;
+      case SlotState::Finished:
+        return to == SlotState::Free;
+    }
+    return false;
+}
+
+void
+SyscallSlot::transition(SlotState to)
+{
+    if (!slotTransitionLegal(state_, to, blocking_)) {
+        panic("illegal slot transition %s -> %s (%s)",
+              slotStateName(state_), slotStateName(to),
+              blocking_ ? "blocking" : "non-blocking");
+    }
+    state_ = to;
+    ++transitions_;
+}
+
+bool
 SyscallSlot::claim()
 {
     if (state_ != SlotState::Free)
         return false;
-    state_ = SlotState::Populating;
+    transition(SlotState::Populating);
     return true;
 }
 
@@ -49,7 +80,7 @@ SyscallSlot::publish(int sysno, const osk::SyscallArgs &args,
     blocking_ = blocking;
     waitMode_ = wait_mode;
     hwWaveSlot_ = hw_wave_slot;
-    state_ = SlotState::Ready;
+    transition(SlotState::Ready);
 }
 
 bool
@@ -57,7 +88,7 @@ SyscallSlot::beginProcessing()
 {
     if (state_ != SlotState::Ready)
         return false;
-    state_ = SlotState::Processing;
+    transition(SlotState::Processing);
     return true;
 }
 
@@ -67,15 +98,19 @@ SyscallSlot::complete(std::int64_t result)
     GENESYS_ASSERT(state_ == SlotState::Processing,
                    "complete from state %s", slotStateName(state_));
     result_ = result;
-    state_ = blocking_ ? SlotState::Finished : SlotState::Free;
+    transition(blocking_ ? SlotState::Finished : SlotState::Free);
 }
 
 std::int64_t
 SyscallSlot::consume()
 {
+    // Keep the explicit precondition on top of the edge check:
+    // Processing->Free is a legal edge (non-blocking complete), so
+    // edge legality alone would let a consume() race a non-blocking
+    // completion undetected.
     GENESYS_ASSERT(state_ == SlotState::Finished,
                    "consume from state %s", slotStateName(state_));
-    state_ = SlotState::Free;
+    transition(SlotState::Free);
     return result_;
 }
 
@@ -99,6 +134,16 @@ SyscallArea::slot(std::uint32_t hw_item_slot) const
     GENESYS_ASSERT(hw_item_slot < slots_.size(), "slot %u out of range",
                    hw_item_slot);
     return slots_[hw_item_slot];
+}
+
+bool
+SyscallArea::quiescent() const
+{
+    for (const auto &slot : slots_) {
+        if (slot.state() != SlotState::Free)
+            return false;
+    }
+    return true;
 }
 
 mem::Addr

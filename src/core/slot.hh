@@ -44,6 +44,17 @@ enum class SlotState : std::uint8_t
 
 const char *slotStateName(SlotState s);
 
+/**
+ * Fig 6 edge-legality predicate, shared by the slot FSM checker and
+ * the property tests. The only legal transitions are
+ *   Free->Populating (GPU claim), Populating->Ready (GPU publish),
+ *   Ready->Processing (CPU take), Processing->Finished (CPU complete,
+ *   blocking), Processing->Free (CPU complete, non-blocking), and
+ *   Finished->Free (GPU consume).
+ * @p blocking disambiguates the two Processing exits.
+ */
+bool slotTransitionLegal(SlotState from, SlotState to, bool blocking);
+
 /** How a waiting GPU requester is woken (Section V-C). */
 enum class WaitMode : std::uint8_t
 {
@@ -88,7 +99,25 @@ class SyscallSlot
     const osk::SyscallArgs &args() const { return args_; }
     std::uint32_t hwWaveSlot() const { return hwWaveSlot_; }
 
+    /** Fig 6 transitions this slot has performed (checker passes). */
+    std::uint64_t transitions() const { return transitions_; }
+
+    /**
+     * Force the raw state, bypassing the normal entry points but NOT
+     * the invariant checker: an illegal edge panics exactly as it
+     * would from a buggy caller. Test/property-harness hook.
+     */
+    void forceState(SlotState to) { transition(to); }
+
   private:
+    /**
+     * The FSM invariant checker (tentpole): every state change funnels
+     * through here and is validated against Fig 6, so an injected
+     * fault (or a buggy recovery path) can corrupt a slot only by
+     * panicking loudly, never silently.
+     */
+    void transition(SlotState to);
+
     SlotState state_ = SlotState::Free;
     bool blocking_ = true;
     WaitMode waitMode_ = WaitMode::Polling;
@@ -96,6 +125,7 @@ class SyscallSlot
     osk::SyscallArgs args_;
     std::int64_t result_ = 0;
     std::uint32_t hwWaveSlot_ = 0;
+    std::uint64_t transitions_ = 0;
 };
 
 /**
@@ -128,6 +158,10 @@ class SyscallArea
         return hw_wave_slot * wavefrontSize_;
     }
     std::uint32_t wavefrontSize() const { return wavefrontSize_; }
+
+    /** True when every slot is Free (no request in any pipeline
+     *  stage) — the drain()/teardown postcondition of Section IX. */
+    bool quiescent() const;
 
   private:
     GenesysParams params_;

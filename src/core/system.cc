@@ -55,6 +55,14 @@ System::statsReport() const
     line("genesys.syscalls_processed",
          static_cast<double>(host_->processedSyscalls()));
     line("genesys.batch_size_mean", host_->batchSizes().mean());
+    line("genesys.syscall_retries",
+         static_cast<double>(client_->syscallRetries()));
+    line("genesys.short_transfers",
+         static_cast<double>(client_->shortTransfers()));
+    line("genesys.host_restarts",
+         static_cast<double>(host_->hostRestarts()));
+    line("osk.faults_injected",
+         static_cast<double>(kernel_->faults().injected()));
     line("mem.gpu_bytes",
          static_cast<double>(memBus_->bytesMoved("gpu")));
     line("mem.cpu_bytes",

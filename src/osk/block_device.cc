@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "osk/fault.hh"
+
 namespace genesys::osk
 {
 
@@ -21,7 +23,15 @@ BlockDevice::read(std::uint64_t bytes)
             std::min(remaining, params_.maxRequestBytes);
         co_await channels_.acquire();
         // Access phase: requests from different streams overlap here.
-        co_await sim::Delay(eq_, params_.accessLatency);
+        Tick access = params_.accessLatency;
+        if (faults_ != nullptr) {
+            const Tick spike = faults_->deviceDelay();
+            if (spike > 0) {
+                access += spike;
+                ++delayedRequests_;
+            }
+        }
+        co_await sim::Delay(eq_, access);
         // Transfer phase: shared device interface bandwidth.
         co_await band_.acquire();
         co_await sim::Delay(eq_,

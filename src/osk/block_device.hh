@@ -30,6 +30,8 @@
 namespace genesys::osk
 {
 
+class FaultInjector;
+
 struct BlockDeviceParams
 {
     /// Internal parallelism (flash channels / NCQ effective depth).
@@ -73,15 +75,26 @@ class BlockDevice
     {
         bytesRead_ = 0;
         requests_ = 0;
+        delayedRequests_ = 0;
     }
+
+    /**
+     * Attach a fault injector: each device request then rolls for a
+     * tail-latency spike (flash GC pause / retry-after-ECC model).
+     */
+    void setFaultInjector(FaultInjector *faults) { faults_ = faults; }
+
+    std::uint64_t delayedRequests() const { return delayedRequests_; }
 
   private:
     sim::EventQueue &eq_;
     BlockDeviceParams params_;
     sim::Semaphore channels_; ///< concurrent requests in service
     sim::Semaphore band_;     ///< serializes the shared transfer phase
+    FaultInjector *faults_ = nullptr;
     std::uint64_t bytesRead_ = 0;
     std::uint64_t requests_ = 0;
+    std::uint64_t delayedRequests_ = 0;
 };
 
 } // namespace genesys::osk

@@ -74,13 +74,22 @@ MemoryManager::mmapDevice(CharDevice *dev)
 bool
 MemoryManager::munmap(Addr base, std::uint64_t length)
 {
-    auto it = vmas_.find(base);
-    if (it == vmas_.end())
+    // POSIX munmap: addr must be page-aligned and may name any
+    // page-aligned run inside one mapping — unmapping the middle
+    // splits the VMA in two (Linux's split_vma).
+    if (base % kPageSize != 0)
         return false;
-    const Vma &vma = it->second;
-    if (length != 0 && pagesFor(length) != vma.pages)
-        return false; // partial unmap unsupported (workloads never do it)
-    for (PageState s : vma.state) {
+    Vma *vma = find(base);
+    if (vma == nullptr)
+        return false;
+    const std::uint64_t first = (base - vma->base) / kPageSize;
+    const std::uint64_t count =
+        length == 0 ? vma->pages - first : pagesFor(length);
+    if (count == 0 || first + count > vma->pages)
+        return false; // range spills past the mapping
+
+    for (std::uint64_t i = first; i < first + count; ++i) {
+        const PageState s = vma->state[i];
         if (s == PageState::Present) {
             GENESYS_ASSERT(rssPages_ > 0, "rss underflow");
             --rssPages_;
@@ -88,7 +97,31 @@ MemoryManager::munmap(Addr base, std::uint64_t length)
             --swappedPages_;
         }
     }
-    vmas_.erase(it);
+
+    const std::uint64_t tail_pages = vma->pages - (first + count);
+    if (tail_pages > 0) {
+        // Carve the surviving tail into its own VMA.
+        Vma tail;
+        tail.base = vma->base + (first + count) * kPageSize;
+        tail.pages = tail_pages;
+        tail.device = vma->device;
+        tail.backing =
+            vma->backing == nullptr
+                ? nullptr
+                : vma->backing + (first + count) * kPageSize;
+        tail.state.assign(vma->state.begin() +
+                              static_cast<std::ptrdiff_t>(first + count),
+                          vma->state.end());
+        const Addr tail_base = tail.base;
+        vmas_.emplace(tail_base, std::move(tail));
+    }
+    if (first > 0) {
+        // Head survives: shrink the original in place.
+        vma->pages = first;
+        vma->state.resize(first);
+    } else {
+        vmas_.erase(vma->base);
+    }
     return true;
 }
 

@@ -25,6 +25,8 @@ Kernel::Kernel(sim::Sim &sim, const KernelConfig &config)
       ssd_(sim.events(), config.ssd)
 {
     populateDevTree();
+    ssd_.setFaultInjector(&faults_);
+    faults_.installSysfs(vfs_);
 }
 
 void

@@ -19,6 +19,7 @@
 
 #include "osk/block_device.hh"
 #include "osk/devices.hh"
+#include "osk/fault.hh"
 #include "osk/file.hh"
 #include "osk/mm.hh"
 #include "osk/net.hh"
@@ -84,12 +85,27 @@ class Kernel
     TerminalDevice &terminal() { return *terminal_; }
     FramebufferDevice &framebuffer() { return *framebuffer_; }
     const SyscallTable &syscalls() const { return syscalls_; }
+    FaultInjector &faults() { return faults_; }
+    const FaultInjector &faults() const { return faults_; }
 
     /** Dispatch a system call in the context of @p proc. */
     sim::Task<std::int64_t>
     doSyscall(Process &proc, int num, const SyscallArgs &args)
     {
         return syscalls_.invoke(*this, proc, num, args);
+    }
+
+    /**
+     * Dispatch with fault injection armed. Only the GPU service path
+     * (GenesysHost workers and the polling daemon) uses this variant:
+     * the GPU client and host implement POSIX recovery, while CPU-side
+     * workload code calling doSyscall() keeps the exact-once semantics
+     * it was written against.
+     */
+    sim::Task<std::int64_t>
+    doSyscallFaultable(Process &proc, int num, const SyscallArgs &args)
+    {
+        return syscalls_.invoke(*this, proc, num, args, &faults_);
     }
 
     Process &createProcess();
@@ -114,6 +130,7 @@ class Kernel
     TerminalDevice *terminal_ = nullptr;
     FramebufferDevice *framebuffer_ = nullptr;
     SyscallTable syscalls_;
+    FaultInjector faults_;
     std::vector<std::unique_ptr<Process>> processes_;
 };
 

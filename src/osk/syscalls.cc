@@ -18,6 +18,7 @@
 
 #include "osk/block_device.hh"
 #include "osk/devices.hh"
+#include "osk/fault.hh"
 #include "osk/file.hh"
 #include "osk/mm.hh"
 #include "osk/net.hh"
@@ -612,13 +613,39 @@ SyscallTable::name(int num) const
 
 sim::Task<std::int64_t>
 SyscallTable::invoke(Kernel &kernel, Process &proc, int num,
-                     const SyscallArgs &args) const
+                     const SyscallArgs &args, FaultInjector *faults) const
 {
     co_await sim::Delay(kernel.sim().events(),
                         kernel.params().syscallBase);
     auto it = handlers_.find(num);
     if (it == handlers_.end())
         co_return -ENOSYS;
+
+    if (faults != nullptr && faults->armed()) {
+        // Short-transfer injection needs a count that can shrink and
+        // still stay positive; everything else is count-independent.
+        const std::uint64_t transfer_bytes =
+            transferSyscall(num) ? args.a[2] : 0;
+        const FaultDecision d = faults->decide(num, transfer_bytes);
+        switch (d.kind) {
+        case FaultKind::Eintr:
+            co_return -EINTR;
+        case FaultKind::Eagain:
+            co_return -EAGAIN;
+        case FaultKind::Errno:
+            co_return -d.err;
+        case FaultKind::ShortTransfer: {
+            SyscallArgs trimmed = args;
+            const std::uint64_t keep = std::max<std::uint64_t>(
+                1, args.a[2] * d.keepPermille / 1000);
+            trimmed.a[2] = keep;
+            co_return co_await it->second.handler(kernel, proc,
+                                                  trimmed);
+        }
+        default:
+            break;
+        }
+    }
     co_return co_await it->second.handler(kernel, proc, args);
 }
 

@@ -27,6 +27,7 @@
 namespace genesys::osk
 {
 
+class FaultInjector;
 class Kernel;
 class Process;
 
@@ -111,6 +112,35 @@ makeArgs(Ts... vals)
     return args;
 }
 
+/**
+ * True for the byte-transfer calls whose return value counts bytes and
+ * which POSIX allows to complete partially: read/write/pread64/pwrite64.
+ * These are the calls eligible for short-transfer injection and for
+ * continuation loops on the requester side.
+ */
+inline constexpr bool
+transferSyscall(int num)
+{
+    return num == sysno::read || num == sysno::write ||
+           num == sysno::pread64 || num == sysno::pwrite64;
+}
+
+/**
+ * Advance a transfer call's argument block past @p done bytes so the
+ * same call can be reissued for the remainder (the libc readn/writen
+ * convention): buffer and count always move; the positioned variants
+ * also move the explicit file offset. read/write on a seekable fd
+ * need no offset fixup because the fd's own offset already advanced.
+ */
+inline void
+advanceTransferArgs(int num, SyscallArgs &args, std::uint64_t done)
+{
+    args.a[1] += done;
+    args.a[2] -= done;
+    if (num == sysno::pread64 || num == sysno::pwrite64)
+        args.a[3] += done;
+}
+
 /** Minimal stat(2) result block. */
 struct StatLite
 {
@@ -156,9 +186,17 @@ class SyscallTable
     /**
      * Dispatch: charges the base syscall cost, then runs the handler.
      * Unknown numbers complete with -ENOSYS.
+     *
+     * With @p faults armed, the injector gets a decision point before
+     * the handler runs: transient (-EINTR/-EAGAIN) and hard (-errno)
+     * injections return without side effects, exactly like a call
+     * interrupted before doing any work; short-transfer injections run
+     * the real handler with a truncated count, so the bytes that are
+     * reported transferred really were.
      */
     sim::Task<std::int64_t> invoke(Kernel &kernel, Process &proc, int num,
-                                   const SyscallArgs &args) const;
+                                   const SyscallArgs &args,
+                                   FaultInjector *faults = nullptr) const;
 
   private:
     struct Entry

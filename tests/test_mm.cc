@@ -88,6 +88,74 @@ TEST_F(MmTest, MunmapReleasesRss)
     EXPECT_FALSE(mm_.munmap(a, 4 * kPageSize));
 }
 
+TEST_F(MmTest, PartialMunmapPrefixLeavesTail)
+{
+    const Addr a = mm_.mmapAnon(8 * kPageSize);
+    mm_.touchUntimed(a, 8 * kPageSize);
+    EXPECT_TRUE(mm_.munmap(a, 3 * kPageSize));
+    EXPECT_EQ(mm_.vmaCount(), 1u);
+    EXPECT_EQ(mm_.rssBytes(), 5 * kPageSize);
+    // The surviving tail still works...
+    mm_.touchUntimed(a + 3 * kPageSize, 5 * kPageSize);
+    // ...and the unmapped prefix is really gone.
+    EXPECT_THROW(mm_.touchUntimed(a, kPageSize), PanicError);
+}
+
+TEST_F(MmTest, PartialMunmapSuffixLeavesHead)
+{
+    const Addr a = mm_.mmapAnon(8 * kPageSize);
+    mm_.touchUntimed(a, 8 * kPageSize);
+    EXPECT_TRUE(mm_.munmap(a + 6 * kPageSize, 2 * kPageSize));
+    EXPECT_EQ(mm_.vmaCount(), 1u);
+    EXPECT_EQ(mm_.rssBytes(), 6 * kPageSize);
+    mm_.touchUntimed(a, 6 * kPageSize);
+    EXPECT_THROW(mm_.touchUntimed(a + 6 * kPageSize, kPageSize),
+                 PanicError);
+}
+
+TEST_F(MmTest, PartialMunmapMiddleSplitsVmaInTwo)
+{
+    const Addr a = mm_.mmapAnon(8 * kPageSize);
+    mm_.touchUntimed(a, 8 * kPageSize);
+    EXPECT_TRUE(mm_.munmap(a + 2 * kPageSize, 3 * kPageSize));
+    EXPECT_EQ(mm_.vmaCount(), 2u);
+    EXPECT_EQ(mm_.rssBytes(), 5 * kPageSize);
+    // Head [0,2) and tail [5,8) both survive with their pages.
+    mm_.touchUntimed(a, 2 * kPageSize);
+    mm_.touchUntimed(a + 5 * kPageSize, 3 * kPageSize);
+    EXPECT_THROW(mm_.touchUntimed(a + 2 * kPageSize, kPageSize),
+                 PanicError);
+    // No new faults were needed: the surviving pages stayed present.
+    EXPECT_EQ(mm_.stats().minorFaults, 8u);
+    // The pieces can then be unmapped independently.
+    EXPECT_TRUE(mm_.munmap(a, 2 * kPageSize));
+    EXPECT_TRUE(mm_.munmap(a + 5 * kPageSize, 3 * kPageSize));
+    EXPECT_EQ(mm_.vmaCount(), 0u);
+    EXPECT_EQ(mm_.rssBytes(), 0u);
+}
+
+TEST_F(MmTest, PartialMunmapInteriorBaseWithZeroLengthDropsTail)
+{
+    const Addr a = mm_.mmapAnon(6 * kPageSize);
+    EXPECT_TRUE(mm_.munmap(a + 4 * kPageSize, 0));
+    EXPECT_EQ(mm_.vmaCount(), 1u);
+    mm_.touchUntimed(a, 4 * kPageSize);
+    EXPECT_THROW(mm_.touchUntimed(a + 4 * kPageSize, kPageSize),
+                 PanicError);
+}
+
+TEST_F(MmTest, MunmapRejectsMisalignedAndSpillingRanges)
+{
+    const Addr a = mm_.mmapAnon(4 * kPageSize);
+    EXPECT_FALSE(mm_.munmap(a + 512, kPageSize)); // misaligned
+    EXPECT_FALSE(mm_.munmap(a + 2 * kPageSize,
+                            4 * kPageSize)); // spills past the end
+    EXPECT_FALSE(mm_.munmap(0xdead000, kPageSize)); // unmapped
+    EXPECT_EQ(mm_.vmaCount(), 1u); // nothing was disturbed
+    mm_.touchUntimed(a, 4 * kPageSize);
+    EXPECT_EQ(mm_.rssBytes(), 4 * kPageSize);
+}
+
 TEST_F(MmTest, MadviseDontneedDropsPages)
 {
     const Addr a = mm_.mmapAnon(8 * kPageSize);

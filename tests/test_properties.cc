@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "core/slot.hh"
 #include "mem/cache_model.hh"
 #include "osk/mm.hh"
 #include "osk/pipe.hh"
@@ -180,7 +181,25 @@ TEST_P(Seeded, RandomMmInvariantsHold)
             ASSERT_EQ(mm.madvise(m.base, m.pages * osk::kPageSize,
                                  osk::MADV_DONTNEED_),
                       0);
-        } else if (!mappings.empty()) { // munmap
+        } else if (op == 8 && !mappings.empty()) { // partial munmap
+            const std::size_t idx = rng.below(mappings.size());
+            const Mapping m = mappings[idx];
+            const std::uint64_t first = rng.below(m.pages);
+            const std::uint64_t count =
+                rng.below(m.pages - first) + 1;
+            ASSERT_TRUE(mm.munmap(m.base + first * osk::kPageSize,
+                                  count * osk::kPageSize));
+            // Mirror the split in the model: surviving head and/or
+            // tail become separate mappings.
+            mappings.erase(mappings.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+            if (first > 0)
+                mappings.push_back({m.base, first});
+            if (first + count < m.pages)
+                mappings.push_back(
+                    {m.base + (first + count) * osk::kPageSize,
+                     m.pages - first - count});
+        } else if (!mappings.empty()) { // full munmap
             const std::size_t idx = rng.below(mappings.size());
             ASSERT_TRUE(mm.munmap(mappings[idx].base,
                                   mappings[idx].pages *
@@ -198,6 +217,102 @@ TEST_P(Seeded, RandomMmInvariantsHold)
         ASSERT_LE(mm.rssBytes() + mm.swappedBytes(), mapped);
         ASSERT_EQ(mm.vmaCount(), mappings.size());
     }
+}
+
+// ---------------------------------------------- slot FSM random walk
+
+TEST_P(Seeded, SlotFsmCheckerAcceptsLegalAndPanicsOnIllegalEdges)
+{
+    // Drive a SyscallSlot with a random mix of its real entry points
+    // and adversarial forced transitions, against a model of Fig 6.
+    // Legal sequences must advance silently; every illegal edge must
+    // panic and leave the slot state unchanged.
+    Random rng(GetParam() * 67 + 11);
+    core::SyscallSlot slot;
+    core::SlotState model = core::SlotState::Free;
+    bool blocking = true;
+    std::uint64_t legal = 0;
+
+    for (int step = 0; step < 5000; ++step) {
+        if (rng.chance(0.3)) {
+            // Adversarial forced edge to a random target state.
+            const auto to =
+                static_cast<core::SlotState>(rng.below(5));
+            if (core::slotTransitionLegal(model, to, blocking)) {
+                slot.forceState(to);
+                model = to;
+                ++legal;
+            } else {
+                EXPECT_THROW(slot.forceState(to), PanicError);
+                EXPECT_EQ(slot.state(), model);
+            }
+            continue;
+        }
+        switch (rng.below(5)) {
+          case 0: { // GPU claim
+            const bool ok = slot.claim();
+            EXPECT_EQ(ok, model == core::SlotState::Free);
+            if (ok) {
+                model = core::SlotState::Populating;
+                ++legal;
+            }
+            break;
+          }
+          case 1: { // GPU publish
+            const bool will_block = rng.chance(0.5);
+            if (model == core::SlotState::Populating) {
+                slot.publish(osk::sysno::getpid, {}, will_block,
+                             core::WaitMode::Polling, 0);
+                blocking = will_block;
+                model = core::SlotState::Ready;
+                ++legal;
+            } else {
+                EXPECT_THROW(slot.publish(osk::sysno::getpid, {},
+                                          will_block,
+                                          core::WaitMode::Polling, 0),
+                             PanicError);
+                EXPECT_EQ(slot.state(), model);
+            }
+            break;
+          }
+          case 2: { // CPU take
+            const bool ok = slot.beginProcessing();
+            EXPECT_EQ(ok, model == core::SlotState::Ready);
+            if (ok) {
+                model = core::SlotState::Processing;
+                ++legal;
+            }
+            break;
+          }
+          case 3: { // CPU complete
+            if (model == core::SlotState::Processing) {
+                slot.complete(0);
+                model = blocking ? core::SlotState::Finished
+                                 : core::SlotState::Free;
+                ++legal;
+            } else {
+                EXPECT_THROW(slot.complete(0), PanicError);
+                EXPECT_EQ(slot.state(), model);
+            }
+            break;
+          }
+          case 4: { // GPU consume
+            if (model == core::SlotState::Finished) {
+                (void)slot.consume();
+                model = core::SlotState::Free;
+                ++legal;
+            } else {
+                EXPECT_THROW((void)slot.consume(), PanicError);
+                EXPECT_EQ(slot.state(), model);
+            }
+            break;
+          }
+        }
+    }
+    // The transitions counter counts exactly the checker-approved
+    // edges — no illegal attempt slipped through.
+    EXPECT_EQ(slot.transitions(), legal);
+    EXPECT_GT(legal, 0u);
 }
 
 // --------------------------------------------------------- cache property
