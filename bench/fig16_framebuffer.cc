@@ -5,7 +5,8 @@
  * The GPU opens /dev/fb0, negotiates the mode over FBIOGET/PUT
  * ioctls, mmaps the pixel memory, blits the raster with its
  * work-groups, and pans the display. Every pixel is verified and the
- * frame dumped as fig16_framebuffer.ppm.
+ * frame dumped as fig16_framebuffer.ppm under $GENESYS_OUT_DIR
+ * (default build/artifacts/).
  */
 
 #include <fstream>
@@ -50,11 +51,13 @@ main()
     if (r.ok) {
         const auto ppm = framebufferToPpm(
             sys.kernel().framebuffer().pixels(), r.width, r.height);
-        std::ofstream out("fig16_framebuffer.ppm", std::ios::binary);
+        const std::string path =
+            artifactPath("fig16_framebuffer.ppm");
+        std::ofstream out(path, std::ios::binary);
         out.write(ppm.data(),
                   static_cast<std::streamsize>(ppm.size()));
-        std::printf("wrote fig16_framebuffer.ppm (%zu bytes) — the "
-                    "raster of Figure 16.\n", ppm.size());
+        std::printf("wrote %s (%zu bytes) — the raster of "
+                    "Figure 16.\n", path.c_str(), ppm.size());
     }
     return r.ok ? 0 : 1;
 }

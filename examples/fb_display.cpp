@@ -3,9 +3,10 @@
  * Framebuffer example (paper Section VIII-E / Figure 16): GPU code
  * opens /dev/fb0, negotiates a video mode over ioctl, mmaps the pixel
  * memory, blits a raster image, and pans the display. The resulting
- * frame is dumped to ./framebuffer.ppm on the host for inspection.
+ * frame is dumped to framebuffer.ppm under $GENESYS_OUT_DIR
+ * (default build/artifacts/) on the host for inspection.
  *
- *   $ ./fb_display && xdg-open framebuffer.ppm
+ *   $ ./fb_display && xdg-open build/artifacts/framebuffer.ppm
  */
 
 #include <cstdio>
@@ -39,8 +40,9 @@ main()
     const auto ppm = framebufferToPpm(
         sys.kernel().framebuffer().pixels(), result.width,
         result.height);
-    std::ofstream out("framebuffer.ppm", std::ios::binary);
+    const std::string path = artifactPath("framebuffer.ppm");
+    std::ofstream out(path, std::ios::binary);
     out.write(ppm.data(), static_cast<std::streamsize>(ppm.size()));
-    std::printf("wrote framebuffer.ppm (%zu bytes)\n", ppm.size());
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), ppm.size());
     return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the curated clang-tidy gate (.clang-tidy) over the first-party
+# sources, using the compile database exported by CMake. Skips
+# gracefully when clang-tidy is not installed (the dev container does
+# not ship it; CI installs it).
+#
+# Usage: scripts/clang_tidy.sh [build-dir]
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+    echo "clang-tidy not found; skipping lint gate (install clang-tidy to run it)."
+    exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "error: $build/compile_commands.json missing." >&2
+    echo "Configure first: cmake -B $build -S $repo" >&2
+    exit 2
+fi
+
+runner="$(command -v run-clang-tidy || true)"
+mapfile -t sources < <(git -C "$repo" ls-files \
+    'src/*.cc' 'tests/*.cc' 'bench/*.cc')
+
+echo "clang-tidy gate: ${#sources[@]} files, config $repo/.clang-tidy"
+if [ -n "$runner" ]; then
+    # run-clang-tidy parallelizes and aggregates the exit status.
+    (cd "$repo" && "$runner" -quiet -p "$build" "${sources[@]}")
+else
+    status=0
+    for f in "${sources[@]}"; do
+        "$tidy" -quiet -p "$build" "$repo/$f" || status=1
+    done
+    exit "$status"
+fi

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 
+#include "support/gsan.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -45,6 +46,20 @@ waitModeName(WaitMode w)
     return w == WaitMode::Polling ? "polling" : "halt-resume";
 }
 
+bool
+GpuSyscalls::sanOn() const
+{
+    return gsan_ != nullptr && gsan_->enabled();
+}
+
+void
+GpuSyscalls::sanActor(gpu::WavefrontCtx &ctx)
+{
+    // Re-established before every instrumented slot op: any co_await
+    // in between may have interleaved another wave or CPU worker.
+    gsan_->setActor(gsan_->waveThread(ctx.hwWaveSlot()));
+}
+
 sim::Task<>
 GpuSyscalls::claimSlot(gpu::WavefrontCtx &ctx, std::uint32_t item_slot)
 {
@@ -52,6 +67,8 @@ GpuSyscalls::claimSlot(gpu::WavefrontCtx &ctx, std::uint32_t item_slot)
     const mem::Addr addr = area_.slotAddr(item_slot);
     for (;;) {
         co_await gpu_.accessLine(addr, gpu_.config().atomicCmpSwap);
+        if (sanOn())
+            sanActor(ctx);
         if (slot.claim())
             co_return;
         // Slot still owned by an earlier (non-blocking) call; retry.
@@ -78,6 +95,13 @@ GpuSyscalls::waitSlots(
                     gpu_.config().atomicLoad);
             }
             if (slot.finished()) {
+                if (sanOn())
+                    sanActor(ctx);
+                if (params_.gsanTest.racyConsume) {
+                    // Seeded bug: touch the result payload before the
+                    // consume() acquire pairs with the CPU's release.
+                    (void)slot.racyPeekResult();
+                }
                 const std::int64_t ret = slot.consume();
                 outstanding &= ~(1ull << lane);
                 if (on_result)
@@ -96,9 +120,19 @@ GpuSyscalls::waitSlots(
         for (;;) {
             // State checks are untimed here: the wave is about to
             // relinquish its SIMD slot rather than generate traffic.
+            // The sweep and the halt() below run back-to-back on the
+            // simulated clock, which is what makes check-then-sleep
+            // safe; gsan's lost-wakeup detector guards exactly this
+            // invariant.
             co_await sweep_finished(false);
             if (outstanding == 0)
                 break;
+            if (params_.gsanTest.haltGapCycles > 0) {
+                // Seeded bug: open a window between the sweep and the
+                // halt, so a CPU wake can fire into a running wave and
+                // evaporate.
+                co_await ctx.compute(params_.gsanTest.haltGapCycles);
+            }
             co_await ctx.halt();
         }
     }
@@ -115,6 +149,8 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
     co_await claimSlot(ctx, item_slot);
     co_await sim::Delay(ctx.sim().events(), params_.perLanePopulate);
     co_await gpu_.accessLine(addr, gpu_.config().atomicSwap);
+    if (sanOn())
+        sanActor(ctx);
     slot.publish(sysno, args, inv.blocking == Blocking::Blocking,
                  inv.waitMode, ctx.hwWaveSlot());
     ++issued_;
@@ -124,6 +160,16 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
                   blockingName(inv.blocking),
                   waitModeName(inv.waitMode));
     gpu_.sendInterrupt(ctx.hwWaveSlot());
+
+    if (params_.gsanTest.racyPeekBeforeFinished &&
+        inv.blocking == Blocking::Blocking) {
+        // Seeded bug: read the result payload right after publishing,
+        // without waiting for the Finished state. gsan reports the
+        // race when the CPU's result write lands.
+        if (sanOn())
+            sanActor(ctx);
+        (void)slot.racyPeekResult();
+    }
 
     if (inv.blocking == Blocking::NonBlocking)
         co_return 0;
@@ -203,8 +249,16 @@ GpuSyscalls::invokeWorkGroup(gpu::WavefrontCtx &ctx,
     const bool bar_after =
         inv.ordering == Ordering::Strong || inv.role == Role::Producer;
 
-    if (bar_before)
+    // Section V barrier-placement contract; the gsanTest skip flags
+    // re-introduce the bug of omitting a required barrier so the
+    // sanitizer's ordering checker can be tested end to end.
+    if (bar_before && !params_.gsanTest.skipPreBarrier)
         co_await ctx.wgBarrier();
+    if (sanOn()) {
+        gsan_->invocationBegin(gsan_->waveThread(ctx.hwWaveSlot()),
+                               bar_before, sysno,
+                               orderingName(inv.ordering));
+    }
 
     std::int64_t ret = 0;
     if (ctx.isGroupLeader()) {
@@ -218,7 +272,12 @@ GpuSyscalls::invokeWorkGroup(gpu::WavefrontCtx &ctx,
             area_.firstItemSlotOfWave(ctx.hwWaveSlot()));
     }
 
-    if (bar_after)
+    if (sanOn()) {
+        gsan_->invocationEnd(gsan_->waveThread(ctx.hwWaveSlot()),
+                             bar_after, sysno,
+                             orderingName(inv.ordering));
+    }
+    if (bar_after && !params_.gsanTest.skipPostBarrier)
         co_await ctx.wgBarrier();
     co_return ret;
 }
@@ -310,6 +369,8 @@ GpuSyscalls::invokeWorkItems(
                 co_await gpu_.accessLine(
                     addr, first ? gpu_.config().atomicCmpSwap
                                 : params_.perLanePopulate);
+                if (sanOn())
+                    sanActor(ctx);
                 if (slot.claim())
                     break;
                 co_await ctx.compute(params_.pollIntervalCycles);
@@ -328,6 +389,8 @@ GpuSyscalls::invokeWorkItems(
             co_await gpu_.accessLine(addr,
                                      first ? gpu_.config().atomicSwap
                                            : params_.perLanePopulate);
+            if (sanOn())
+                sanActor(ctx);
             slot.publish(sysno, args[lane],
                          inv.blocking == Blocking::Blocking,
                          inv.waitMode, ctx.hwWaveSlot());

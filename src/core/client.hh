@@ -171,6 +171,9 @@ class GpuSyscalls
                                   int fd, std::uint64_t request,
                                   void *argp);
 
+    /** Attach the happens-before sanitizer (may be null). */
+    void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }
+
     // ---- stats -----------------------------------------------------
     std::uint64_t issuedRequests() const { return issued_; }
     /** Transparent EINTR restarts + EAGAIN retries performed. */
@@ -214,9 +217,15 @@ class GpuSyscalls
                           std::function<void(std::uint32_t,
                                              std::int64_t)> on_result);
 
+    /** True when the sanitizer is attached and enabled. */
+    bool sanOn() const;
+    /** Name @p ctx's wavefront as the gsan actor for slot ops. */
+    void sanActor(gpu::WavefrontCtx &ctx);
+
     gpu::GpuDevice &gpu_;
     SyscallArea &area_;
     GenesysParams params_;
+    gsan::Sanitizer *gsan_ = nullptr;
     std::uint64_t issued_ = 0;
     std::uint64_t retries_ = 0;
     std::uint64_t shortTransfers_ = 0;

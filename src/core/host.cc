@@ -10,6 +10,7 @@
 
 #include "osk/sysfs.hh"
 #include "sim/sync.hh"
+#include "support/gsan.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -108,15 +109,23 @@ GenesysHost::flushPendingBatch()
                   batch.size());
     batchSizes_.sample(static_cast<double>(batch.size()));
     kernel_.workqueue().enqueue(
-        [this, batch = std::move(batch)]() mutable -> sim::Task<> {
-            return serviceBatch(std::move(batch));
+        [this, batch = std::move(batch)](
+            std::uint32_t worker) mutable -> sim::Task<> {
+            return serviceBatch(std::move(batch), worker);
         });
 }
 
 sim::Task<>
-GenesysHost::serviceBatch(std::vector<std::uint32_t> waves)
+GenesysHost::serviceBatch(std::vector<std::uint32_t> waves,
+                          std::uint32_t worker)
 {
     const auto &osk_params = kernel_.params();
+    // gsan models each OS worker as its own logical thread; slot
+    // accesses below are attributed to it.
+    const std::uint32_t servicer =
+        gsan_ != nullptr && gsan_->enabled()
+            ? gsan_->workerThread(worker)
+            : gsan::Sanitizer::kNoThread;
     // The worker runs its task to completion on one core (Linux
     // workqueue semantics), starting with the switch into the context
     // of the process that launched the GPU kernel (Section VI).
@@ -125,7 +134,7 @@ GenesysHost::serviceBatch(std::vector<std::uint32_t> waves)
                         osk_params.workqueueEnqueue +
                             osk_params.contextSwitch);
     for (std::uint32_t wave : waves) {
-        co_await serviceWaveSlots(wave);
+        co_await serviceWaveSlots(wave, servicer);
         GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
         --inFlight_;
     }
@@ -175,12 +184,23 @@ GenesysHost::executeSlotCall(const SyscallSlot &slot)
 }
 
 sim::Task<int>
-GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot)
+GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot,
+                              std::uint32_t servicer)
 {
+    const bool san =
+        gsan_ != nullptr && gsan_->enabled() &&
+        servicer != gsan::Sanitizer::kNoThread;
+    if (san) {
+        // The s_sendmsg interrupt is the edge that told this worker
+        // the wave has requests outstanding.
+        gsan_->interruptReceive(hw_wave_slot, servicer);
+    }
     const std::uint32_t first = area_.firstItemSlotOfWave(hw_wave_slot);
     int handled = 0;
     for (std::uint32_t lane = 0; lane < area_.wavefrontSize(); ++lane) {
         SyscallSlot &slot = area_.slot(first + lane);
+        if (san)
+            gsan_->setActor(servicer);
         if (!slot.beginProcessing())
             continue;
         // Calls that can block indefinitely (recvfrom on an empty
@@ -202,11 +222,19 @@ GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot)
                       static_cast<long long>(ret));
         const bool wake = slot.blocking() &&
                           slot.waitMode() == WaitMode::HaltResume;
+        // Read the requester id BEFORE complete(): completing a
+        // blocking slot publishes Finished, after which the GPU may
+        // consume and even recycle the slot under a new requester —
+        // reading hwWaveSlot() afterwards is a use-after-release
+        // (found by gsan's payload-ownership discipline).
+        const std::uint32_t requester = slot.hwWaveSlot();
+        if (san)
+            gsan_->setActor(servicer);
         slot.complete(ret);
         ++processed_;
         ++handled;
         if (wake)
-            gpu_.resumeWave(slot.hwWaveSlot());
+            gpu_.resumeWave(requester);
     }
     co_return handled;
 }
@@ -248,6 +276,9 @@ GenesysHost::daemonLoop(Tick scan_interval)
         bool any = false;
         for (std::size_t i = 0; i < area_.slotCount(); ++i) {
             SyscallSlot &slot = area_.slot(static_cast<std::uint32_t>(i));
+            const bool san = gsan_ != nullptr && gsan_->enabled();
+            if (san)
+                gsan_->setActor(gsan_->namedThread("cpu-daemon"));
             if (!slot.beginProcessing())
                 continue;
             any = true;
@@ -257,10 +288,15 @@ GenesysHost::daemonLoop(Tick scan_interval)
             const std::int64_t ret = co_await executeSlotCall(slot);
             const bool wake = slot.blocking() &&
                               slot.waitMode() == WaitMode::HaltResume;
+            // As in serviceWaveSlots: capture the requester before
+            // complete() releases the slot back to the GPU.
+            const std::uint32_t requester = slot.hwWaveSlot();
+            if (san)
+                gsan_->setActor(gsan_->namedThread("cpu-daemon"));
             slot.complete(ret);
             ++processed_;
             if (wake)
-                gpu_.resumeWave(slot.hwWaveSlot());
+                gpu_.resumeWave(requester);
         }
         ++batches_;
         if (!any && !last_sweep)

@@ -82,12 +82,19 @@ class GenesysHost
     /** Fault recoveries the host performed for non-blocking slots. */
     std::uint64_t hostRestarts() const { return hostRestarts_; }
 
+    /** Attach the happens-before sanitizer (may be null). */
+    void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }
+
   private:
     void flushPendingBatch();
     sim::Task<> interruptArrival(std::uint32_t hw_wave_slot);
-    sim::Task<> serviceBatch(std::vector<std::uint32_t> waves);
-    /** Process every ready slot of @p hw_wave_slot; @return count. */
-    sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot);
+    /** @p worker is the index of the OS worker running the batch. */
+    sim::Task<> serviceBatch(std::vector<std::uint32_t> waves,
+                             std::uint32_t worker);
+    /** Process every ready slot of @p hw_wave_slot; @return count.
+     *  @p servicer is the gsan thread of the servicing CPU context. */
+    sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot,
+                                    std::uint32_t servicer);
     sim::Task<> daemonLoop(Tick scan_interval);
 
     /**
@@ -106,6 +113,7 @@ class GenesysHost
     SyscallArea &area_;
     osk::Process &proc_;
     GenesysParams params_;
+    gsan::Sanitizer *gsan_ = nullptr;
 
     std::vector<std::uint32_t> pendingBatch_;
     sim::EventId batchTimer_ = 0;

@@ -50,6 +50,31 @@ struct GenesysParams
     /// doubles per consecutive retry.
     std::uint32_t eagainMaxRetries = 8;
     std::uint64_t eagainBackoffCycles = 1024;
+
+    /**
+     * gsan adversarial test hooks: each deliberately re-introduces a
+     * synchronization bug the paper's protocol exists to prevent, so
+     * the sanitizer's detectors can be regression-tested end to end.
+     * All default off; production paths never set them.
+     */
+    struct GsanTestHooks
+    {
+        /// Drop the required pre-invocation work-group barrier.
+        bool skipPreBarrier = false;
+        /// Drop the required post-invocation work-group barrier.
+        bool skipPostBarrier = false;
+        /// After publishing a blocking request, immediately read the
+        /// result payload without waiting for Finished.
+        bool racyPeekBeforeFinished = false;
+        /// Consume-side bug: peek the result payload of a finished
+        /// slot without the consume() acquire.
+        bool racyConsume = false;
+        /// HaltResume bug: insert this many compute cycles between the
+        /// final polling sweep and the halt, opening the window where
+        /// the CPU's wake fires into a not-yet-halted wave.
+        std::uint64_t haltGapCycles = 0;
+    };
+    GsanTestHooks gsanTest;
 };
 
 } // namespace genesys::core

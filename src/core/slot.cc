@@ -5,6 +5,7 @@
 
 #include "slot.hh"
 
+#include "support/gsan.hh"
 #include "support/logging.hh"
 
 namespace genesys::core
@@ -64,6 +65,11 @@ SyscallSlot::claim()
 {
     if (state_ != SlotState::Free)
         return false;
+    // Free->Populating is an atomic CAS on the slot line: the claimer
+    // acquires whatever the previous releaser (complete/consume)
+    // published, so recycled slots never look like fresh races.
+    if (gsan_ && gsan_->enabled())
+        gsan_->slotAcquire(gsanId_);
     transition(SlotState::Populating);
     return true;
 }
@@ -80,6 +86,11 @@ SyscallSlot::publish(int sysno, const osk::SyscallArgs &args,
     blocking_ = blocking;
     waitMode_ = wait_mode;
     hwWaveSlot_ = hw_wave_slot;
+    if (gsan_ && gsan_->enabled()) {
+        gsan_->slotWrite(gsanId_, "args");
+        // Populating->Ready hands payload ownership to the CPU.
+        gsan_->slotRelease(gsanId_);
+    }
     transition(SlotState::Ready);
 }
 
@@ -88,6 +99,10 @@ SyscallSlot::beginProcessing()
 {
     if (state_ != SlotState::Ready)
         return false;
+    if (gsan_ && gsan_->enabled()) {
+        gsan_->slotAcquire(gsanId_);
+        gsan_->slotRead(gsanId_, "args");
+    }
     transition(SlotState::Processing);
     return true;
 }
@@ -98,6 +113,11 @@ SyscallSlot::complete(std::int64_t result)
     GENESYS_ASSERT(state_ == SlotState::Processing,
                    "complete from state %s", slotStateName(state_));
     result_ = result;
+    if (gsan_ && gsan_->enabled()) {
+        gsan_->slotWrite(gsanId_, "result");
+        // Processing->Finished/Free hands ownership back to the GPU.
+        gsan_->slotRelease(gsanId_);
+    }
     transition(blocking_ ? SlotState::Finished : SlotState::Free);
 }
 
@@ -110,7 +130,23 @@ SyscallSlot::consume()
     // completion undetected.
     GENESYS_ASSERT(state_ == SlotState::Finished,
                    "consume from state %s", slotStateName(state_));
+    if (gsan_ && gsan_->enabled()) {
+        gsan_->slotAcquire(gsanId_);
+        gsan_->slotRead(gsanId_, "result");
+        gsan_->slotConsumed(gsanId_, hwWaveSlot_);
+        // Finished->Free recycles the slot; release so the next
+        // claimer inherits this consumption.
+        gsan_->slotRelease(gsanId_);
+    }
     transition(SlotState::Free);
+    return result_;
+}
+
+std::int64_t
+SyscallSlot::racyPeekResult() const
+{
+    if (gsan_ && gsan_->enabled())
+        gsan_->slotRead(gsanId_, "result");
     return result_;
 }
 
@@ -144,6 +180,13 @@ SyscallArea::quiescent() const
             return false;
     }
     return true;
+}
+
+void
+SyscallArea::attachSanitizer(gsan::Sanitizer *gsan)
+{
+    for (std::uint32_t i = 0; i < slots_.size(); ++i)
+        slots_[i].attachSanitizer(gsan, i);
 }
 
 mem::Addr

@@ -30,6 +30,11 @@
 #include "osk/syscalls.hh"
 #include "support/types.hh"
 
+namespace genesys::gsan
+{
+class Sanitizer;
+}
+
 namespace genesys::core
 {
 
@@ -109,6 +114,25 @@ class SyscallSlot
      */
     void forceState(SlotState to) { transition(to); }
 
+    /**
+     * Attach the happens-before sanitizer; @p id is this slot's index
+     * in the syscall area (gsan's variable name for the payload).
+     * The protocol entry points then emit acquire/release/access
+     * events on behalf of the current gsan actor.
+     */
+    void attachSanitizer(gsan::Sanitizer *gsan, std::uint32_t id)
+    {
+        gsan_ = gsan;
+        gsanId_ = id;
+    }
+
+    /**
+     * Test hook modeling a buggy consumer: read the result payload
+     * WITHOUT the acquire the Finished->Free transition provides.
+     * gsan should flag this as a payload race against the CPU's write.
+     */
+    std::int64_t racyPeekResult() const;
+
   private:
     /**
      * The FSM invariant checker (tentpole): every state change funnels
@@ -126,6 +150,8 @@ class SyscallSlot
     std::int64_t result_ = 0;
     std::uint32_t hwWaveSlot_ = 0;
     std::uint64_t transitions_ = 0;
+    gsan::Sanitizer *gsan_ = nullptr;
+    std::uint32_t gsanId_ = 0;
 };
 
 /**
@@ -162,6 +188,9 @@ class SyscallArea
     /** True when every slot is Free (no request in any pipeline
      *  stage) — the drain()/teardown postcondition of Section IX. */
     bool quiescent() const;
+
+    /** Attach the sanitizer to every slot (id = slot index). */
+    void attachSanitizer(gsan::Sanitizer *gsan);
 
   private:
     GenesysParams params_;

@@ -5,6 +5,9 @@
 
 #include "system.hh"
 
+#include <cstdlib>
+
+#include "osk/sysfs.hh"
 #include "support/logging.hh"
 
 namespace genesys::core
@@ -22,8 +25,68 @@ System::System(const SystemConfig &config)
       host_(std::make_unique<GenesysHost>(*kernel_, *gpu_, *area_,
                                           *proc_, config.genesys)),
       client_(std::make_unique<GpuSyscalls>(*gpu_, *area_,
-                                            config.genesys))
-{}
+                                            config.genesys)),
+      gsan_(std::make_unique<gsan::Sanitizer>())
+{
+    // Capture heap-stable pointers, never `this`: System is movable.
+    sim::Sim *sp = sim_.get();
+    gsan_->setNow([sp]() -> std::uint64_t { return sp->now(); });
+    gpu_->setSanitizer(gsan_.get());
+    area_->attachSanitizer(gsan_.get());
+    host_->setSanitizer(gsan_.get());
+    client_->setSanitizer(gsan_.get());
+    installGsanSysfs();
+
+    // GENESYS_GSAN=1 turns the sanitizer on for a whole test/bench
+    // run without touching code (the gsan-enabled CI job uses this).
+    const char *env = std::getenv("GENESYS_GSAN");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+        gsan_->setEnabled(true);
+    }
+}
+
+void
+System::installGsanSysfs()
+{
+    // Mirrors the fault subsystem's /sys/genesys/fault/ knob surface.
+    gsan::Sanitizer *g = gsan_.get();
+    kernel_->vfs().install(
+        "/sys/genesys/gsan/enabled",
+        std::make_shared<osk::SysfsFile>(
+            [g]() -> std::uint64_t { return g->enabled() ? 1 : 0; },
+            [g](std::uint64_t v) {
+                if (v > 1)
+                    return false;
+                g->setEnabled(v == 1);
+                return true;
+            }));
+    kernel_->vfs().install(
+        "/sys/genesys/gsan/max_reports",
+        std::make_shared<osk::SysfsFile>(
+            [g]() -> std::uint64_t { return g->maxStoredReports(); },
+            [g](std::uint64_t v) {
+                if (v > UINT32_MAX)
+                    return false;
+                g->setMaxStoredReports(static_cast<std::uint32_t>(v));
+                return true;
+            }));
+    auto counter = [this, g](const std::string &name,
+                             std::function<std::uint64_t()> read) {
+        kernel_->vfs().install(
+            "/sys/genesys/gsan/" + name,
+            std::make_shared<osk::SysfsFile>(
+                std::move(read), [](std::uint64_t) { return false; }));
+    };
+    counter("reports", [g] { return g->reportCount(); });
+    counter("payload_races",
+            [g] { return g->countOf(gsan::ReportKind::PayloadRace); });
+    counter("ordering_violations", [g] {
+        return g->countOf(gsan::ReportKind::OrderingViolation);
+    });
+    counter("lost_wakeups",
+            [g] { return g->countOf(gsan::ReportKind::LostWakeup); });
+}
 
 sim::Task<>
 System::launchDrainTask(gpu::KernelLaunch launch)
@@ -63,6 +126,18 @@ System::statsReport() const
          static_cast<double>(host_->hostRestarts()));
     line("osk.faults_injected",
          static_cast<double>(kernel_->faults().injected()));
+    line("gsan.enabled", gsan_->enabled() ? 1.0 : 0.0);
+    line("gsan.reports", static_cast<double>(gsan_->reportCount()));
+    line("gsan.payload_races",
+         static_cast<double>(
+             gsan_->countOf(gsan::ReportKind::PayloadRace)));
+    line("gsan.ordering_violations",
+         static_cast<double>(
+             gsan_->countOf(gsan::ReportKind::OrderingViolation)));
+    line("gsan.lost_wakeups",
+         static_cast<double>(
+             gsan_->countOf(gsan::ReportKind::LostWakeup)));
+    line("gsan.threads", static_cast<double>(gsan_->threadCount()));
     line("mem.gpu_bytes",
          static_cast<double>(memBus_->bytesMoved("gpu")));
     line("mem.cpu_bytes",

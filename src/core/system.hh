@@ -28,6 +28,7 @@
 #include "mem/mem_bus.hh"
 #include "osk/process.hh"
 #include "sim/sim.hh"
+#include "support/gsan.hh"
 
 namespace genesys::core
 {
@@ -55,6 +56,16 @@ class System
     GenesysHost &host() { return *host_; }
     GpuSyscalls &gpuSys() { return *client_; }
     const SystemConfig &config() const { return config_; }
+
+    /**
+     * The happens-before sanitizer, wired into every slot, the GPU
+     * device, the client, and the host. Compiled in always; enable at
+     * runtime via gsan().setEnabled(true), the GENESYS_GSAN
+     * environment variable, or `echo 1 > /sys/genesys/gsan/enabled`
+     * from simulated code.
+     */
+    gsan::Sanitizer &gsan() { return *gsan_; }
+    const gsan::Sanitizer &gsan() const { return *gsan_; }
 
     /** Launch a GPU kernel (non-blocking; completes as sim runs). */
     void
@@ -85,6 +96,7 @@ class System
 
   private:
     sim::Task<> launchDrainTask(gpu::KernelLaunch launch);
+    void installGsanSysfs();
 
     SystemConfig config_;
     std::unique_ptr<sim::Sim> sim_;
@@ -95,6 +107,7 @@ class System
     std::unique_ptr<SyscallArea> area_;
     std::unique_ptr<GenesysHost> host_;
     std::unique_ptr<GpuSyscalls> client_;
+    std::unique_ptr<gsan::Sanitizer> gsan_;
 };
 
 } // namespace genesys::core

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "support/gsan.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -72,18 +73,31 @@ WavefrontCtx::compute(std::uint64_t cycles)
                       dev_.config().cyclesToTicks(cycles));
 }
 
-sim::Barrier::ArriveAndWait
+sim::Task<>
 WavefrontCtx::wgBarrier()
 {
-    return wg_.barrier->arriveAndWait();
+    gsan::Sanitizer *g = dev_.sanitizer();
+    const bool on = g != nullptr && g->enabled();
+    // The barrier object is per work-group instance, so its address
+    // is a unique, stable sync-object key for this group's lifetime.
+    const auto key = reinterpret_cast<std::uint64_t>(wg_.barrier.get());
+    if (on)
+        g->barrierArrive(key, g->waveThread(hwSlot_));
+    co_await wg_.barrier->arriveAndWait();
+    if (on)
+        g->barrierLeave(key, g->waveThread(hwSlot_));
 }
 
 sim::Task<>
 WavefrontCtx::halt()
 {
+    if (gsan::Sanitizer *g = dev_.sanitizer(); g && g->enabled())
+        g->waveHalt(hwSlot_);
     halted_ = true;
     co_await haltWait_->wait();
     halted_ = false;
+    if (gsan::Sanitizer *g = dev_.sanitizer(); g && g->enabled())
+        g->waveWake(hwSlot_);
 }
 
 sim::Task<>
@@ -100,8 +114,19 @@ WavefrontCtx::launchKernel(KernelLaunch child)
 void
 WavefrontCtx::resumeFromHost()
 {
-    if (haltWait_->waiting() > 0)
+    gsan::Sanitizer *g = dev_.sanitizer();
+    const bool on = g != nullptr && g->enabled();
+    if (haltWait_->waiting() > 0) {
+        if (on)
+            g->resumeDelivered(hwSlot_);
         haltWait_->notifyOne(dev_.config().waveResumeLatency);
+    } else if (on) {
+        // The wake message found nobody halted and evaporates. If the
+        // wave halts *after* this, it sleeps forever on hardware —
+        // gsan reports it at the halt site unless the wave observes
+        // the finished slot first (poll + consume).
+        g->resumeDropped(hwSlot_);
+    }
 }
 
 // --------------------------------------------------------------- GpuDevice
@@ -234,6 +259,8 @@ GpuDevice::runWave(std::shared_ptr<LaunchState> launch,
     co_await launch->program(*ctx);
 
     const std::uint32_t hw_id = ctx->hwWaveSlot();
+    if (gsan_ != nullptr && gsan_->enabled())
+        gsan_->waveRetire(hw_id);
     waveBySlot_[hw_id] = nullptr;
     CuState &cu = cus_[wg->cu];
     cu.freeHwWaveIds.push_back(hw_id);
@@ -253,6 +280,8 @@ GpuDevice::runWave(std::shared_ptr<LaunchState> launch,
 void
 GpuDevice::sendInterrupt(std::uint32_t hw_wave_slot)
 {
+    if (gsan_ != nullptr && gsan_->enabled())
+        gsan_->interruptSend(hw_wave_slot);
     if (interruptSink_)
         interruptSink_(hw_wave_slot);
     else

@@ -41,6 +41,11 @@
 #include "support/stats.hh"
 #include "support/types.hh"
 
+namespace genesys::gsan
+{
+class Sanitizer;
+}
+
 namespace genesys::gpu
 {
 
@@ -155,8 +160,13 @@ class WavefrontCtx
     /** SIMD compute for @p cycles GPU cycles. */
     sim::Delay compute(std::uint64_t cycles);
 
-    /** Work-group scope barrier across all waves of the group. */
-    sim::Barrier::ArriveAndWait wgBarrier();
+    /**
+     * Work-group scope barrier across all waves of the group. A lazy
+     * Task wrapper around the barrier awaiter (timing-neutral:
+     * symmetric transfer runs it synchronously) so gsan can record the
+     * happens-before edges every arrival/departure creates.
+     */
+    sim::Task<> wgBarrier();
 
     /**
      * Halt this wavefront, releasing its SIMD resources, until a CPU
@@ -214,6 +224,10 @@ class GpuDevice
     /** Raise a GPU->CPU interrupt for @p hw_wave_slot. */
     void sendInterrupt(std::uint32_t hw_wave_slot);
 
+    /** Attach/query the happens-before sanitizer (may be null). */
+    void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }
+    gsan::Sanitizer *sanitizer() const { return gsan_; }
+
     /** Wake the (halted) wavefront in @p hw_wave_slot. */
     void resumeWave(std::uint32_t hw_wave_slot);
 
@@ -257,6 +271,7 @@ class GpuDevice
     mem::MemBus *memBus_;
     std::vector<CuState> cus_;
     std::deque<PendingWg> pendingWgs_;
+    gsan::Sanitizer *gsan_ = nullptr;
     std::function<void(std::uint32_t)> interruptSink_;
     /// hw wave slot -> live wavefront context (for halt/resume).
     std::vector<WavefrontCtx *> waveBySlot_;

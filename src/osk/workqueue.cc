@@ -98,7 +98,7 @@ WorkQueue::WorkQueue(sim::Sim &sim, CpuCluster &cpus,
       wait_(std::make_unique<sim::WaitQueue>(sim.events()))
 {
     for (std::uint32_t i = 0; i < max_workers; ++i)
-        sim_.spawn(workerLoop());
+        sim_.spawn(workerLoop(i));
 }
 
 void
@@ -111,7 +111,7 @@ WorkQueue::enqueue(TaskFactory factory)
 }
 
 sim::Task<>
-WorkQueue::workerLoop()
+WorkQueue::workerLoop(std::uint32_t worker)
 {
     for (;;) {
         while (queue_.empty())
@@ -122,7 +122,7 @@ WorkQueue::workerLoop()
         // blocks (e.g. in recvfrom) parks without pinning a CPU core;
         // tasks charge their *active* CPU time through the cluster
         // themselves.
-        co_await factory();
+        co_await factory(worker);
         ++executed_;
     }
 }

@@ -80,7 +80,14 @@ class CpuCluster
 class WorkQueue
 {
   public:
-    using TaskFactory = std::function<sim::Task<>()>;
+    /**
+     * A queued task, instantiated by the worker loop that picks it up.
+     * The factory receives the worker's index in [0, maxWorkers) — the
+     * identity of the OS worker thread executing the task, which e.g.
+     * the gsan happens-before checker uses to attribute CPU-side slot
+     * accesses.
+     */
+    using TaskFactory = std::function<sim::Task<>(std::uint32_t worker)>;
 
     WorkQueue(sim::Sim &sim, CpuCluster &cpus, const OskParams &params,
               std::uint32_t max_workers);
@@ -92,7 +99,7 @@ class WorkQueue
     std::size_t queuedNow() const { return queue_.size(); }
 
   private:
-    sim::Task<> workerLoop();
+    sim::Task<> workerLoop(std::uint32_t worker);
 
     sim::Sim &sim_;
     CpuCluster &cpus_;

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * gsan — a happens-before race & ordering sanitizer for the GENESYS
+ * syscall area.
+ *
+ * The paper's correctness argument lives in its ordering/blocking
+ * design space (Section V, Fig 6): a relaxed-ordered invocation is
+ * only safe with the right work-group barrier before/after it, and a
+ * slot's payload (arguments / repurposed return value, Fig 5) may only
+ * be read after the Finished state has been observed through the
+ * coherent L2. Nothing in the simulator *checked* those invariants: a
+ * dropped barrier or a payload read racing the CPU writer would
+ * silently produce wrong results. gsan checks them mechanically, the
+ * way TSan checks a pthread program.
+ *
+ * Model. The unit of logical concurrency is a scheduled agent: one
+ * thread per resident hardware wavefront (lanes execute in lockstep
+ * inside the wave's coroutine, and each lane owns a private slot, so
+ * per-lane accesses are distinguished by *variable*, not by thread)
+ * and one thread per OS workqueue worker (plus the polling daemon).
+ * Every thread carries a vector clock. Happens-before edges are
+ * created by exactly the events the hardware/OS contract provides:
+ *
+ *   - slot FSM transitions: each Fig 6 edge is an atomic RMW on the
+ *     slot's cache line, so every transition is an acquire of the
+ *     slot's release clock; publish (Populating->Ready) and complete
+ *     (Processing->Finished/Free) additionally release, because they
+ *     are the two points that hand payload ownership across the
+ *     CPU/GPU boundary;
+ *   - work-group barriers (all arrivals join, all departures acquire);
+ *   - the s_sendmsg interrupt (wave -> servicing worker);
+ *   - halt/resume wake messages (completing CPU thread -> woken wave).
+ *
+ * On top of the clocks gsan reports three violation classes:
+ *  (a) PayloadRace      — a slot payload access with no happens-before
+ *                         edge from the last conflicting access;
+ *  (b) OrderingViolation — a work-group invocation missing the
+ *                         barrier its ordering/role contract requires
+ *                         (strong: before and after; relaxed consumer:
+ *                         before; relaxed producer: after);
+ *  (c) LostWakeup       — a wavefront halts after the CPU's wake
+ *                         message already fired and was dropped (the
+ *                         requester would sleep forever on hardware).
+ *
+ * gsan is always compiled in and toggled at runtime (default off; all
+ * hooks are an early-out branch when disabled). Reports carry a
+ * monotone sequence number and the simulated tick, so a fixed seed
+ * yields byte-identical report text that CI can diff. Knobs live
+ * under /sys/genesys/gsan/, mirroring the fault subsystem.
+ */
+
+#ifndef GENESYS_SUPPORT_GSAN_HH
+#define GENESYS_SUPPORT_GSAN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace genesys::gsan
+{
+
+enum class ReportKind : std::uint8_t
+{
+    PayloadRace,
+    OrderingViolation,
+    LostWakeup,
+};
+
+const char *reportKindName(ReportKind kind);
+
+/** One sanitizer finding; rendering is deterministic for a fixed seed. */
+struct Report
+{
+    ReportKind kind = ReportKind::PayloadRace;
+    std::uint64_t seq = 0;  ///< 0-based, in detection order
+    std::uint64_t tick = 0; ///< simulated time of detection
+    std::string what;
+
+    std::string render() const;
+};
+
+class Sanitizer
+{
+  public:
+    using ThreadId = std::uint32_t;
+    static constexpr ThreadId kNoThread = 0xFFFFFFFFu;
+
+    // ---- configuration / toggling ---------------------------------
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Reports beyond this many are counted but not stored. */
+    void setMaxStoredReports(std::uint32_t n) { maxStored_ = n; }
+    std::uint32_t maxStoredReports() const { return maxStored_; }
+
+    /** Clock source for report timestamps (simulated ticks). */
+    void setNow(std::function<std::uint64_t()> now)
+    {
+        now_ = std::move(now);
+    }
+
+    // ---- logical threads ------------------------------------------
+    /** Thread of the wavefront in hardware wave slot @p hw (lazy). */
+    ThreadId waveThread(std::uint32_t hw_wave_slot);
+    /** Thread of OS workqueue worker @p worker (lazy). */
+    ThreadId workerThread(std::uint32_t worker);
+    /** Ad-hoc named thread (e.g. the polling daemon; lazy). */
+    ThreadId namedThread(const std::string &name);
+    /** Existing wave thread, or kNoThread if it never registered. */
+    ThreadId findWaveThread(std::uint32_t hw_wave_slot) const;
+    const std::string &threadName(ThreadId t) const;
+    std::size_t threadCount() const { return threads_.size(); }
+
+    /**
+     * The thread performing subsequent slot operations. Slot hooks run
+     * inside SyscallSlot (which does not know its caller), so every
+     * protocol call site names itself first. Safe because slot methods
+     * never suspend between setActor() and the hook.
+     */
+    void setActor(ThreadId t) { actor_ = t; }
+    ThreadId actor() const { return actor_; }
+
+    /** Generic happens-before edge from @p from to @p to. */
+    void edge(ThreadId from, ThreadId to);
+
+    // ---- slot protocol (payload + release clocks; use the actor) --
+    void slotAcquire(std::uint32_t slot);
+    void slotRelease(std::uint32_t slot);
+    void slotWrite(std::uint32_t slot, const char *field);
+    void slotRead(std::uint32_t slot, const char *field);
+    /** A finished slot of @p hw_wave_slot was consumed by its wave. */
+    void slotConsumed(std::uint32_t slot, std::uint32_t hw_wave_slot);
+
+    // ---- work-group barriers --------------------------------------
+    void barrierArrive(std::uint64_t key, ThreadId t);
+    void barrierLeave(std::uint64_t key, ThreadId t);
+
+    // ---- interrupt channel (per hardware wave slot) ---------------
+    void interruptSend(std::uint32_t hw_wave_slot);
+    void interruptReceive(std::uint32_t hw_wave_slot, ThreadId t);
+
+    // ---- halt / resume (lost-wakeup detection) --------------------
+    /** The wave in @p hw_wave_slot is about to halt. */
+    void waveHalt(std::uint32_t hw_wave_slot);
+    /** The wave in @p hw_wave_slot woke from a halt. */
+    void waveWake(std::uint32_t hw_wave_slot);
+    /** A wake message reached a halted wave (sender = actor). */
+    void resumeDelivered(std::uint32_t hw_wave_slot);
+    /** A wake message found the wave not halted and was dropped. */
+    void resumeDropped(std::uint32_t hw_wave_slot);
+
+    // ---- ordering contract (work-group granularity) ---------------
+    void invocationBegin(ThreadId t, bool need_pre_barrier, int sysno,
+                         const char *ordering);
+    void invocationEnd(ThreadId t, bool need_post_barrier, int sysno,
+                       const char *ordering);
+    /** The wavefront program of @p hw_wave_slot completed. */
+    void waveRetire(std::uint32_t hw_wave_slot);
+
+    // ---- reports ---------------------------------------------------
+    std::uint64_t reportCount() const { return totalReports_; }
+    std::uint64_t countOf(ReportKind kind) const
+    {
+        return byKind_[static_cast<std::size_t>(kind)];
+    }
+    const std::vector<Report> &reports() const { return reports_; }
+    /** All stored reports, one per line, in detection order. */
+    std::string renderReports() const;
+
+    /** Forget clocks, threads, and reports; keep configuration. */
+    void reset();
+
+  private:
+    /// Vector clock indexed by ThreadId; missing entries read as 0.
+    using Clock = std::vector<std::uint32_t>;
+
+    struct Epoch
+    {
+        ThreadId tid = kNoThread;
+        std::uint32_t clk = 0;
+    };
+
+    struct ThreadState
+    {
+        std::string name;
+        Clock clock;
+        // Ordering-contract bookkeeping (monotone event counter).
+        std::uint64_t events = 0;
+        std::uint64_t lastBarrierEvent = 0;
+        std::uint64_t lastInvocationEvent = 0;
+        bool pendingPostBarrier = false;
+        std::string pendingPostWhat;
+    };
+
+    struct SlotSync
+    {
+        Clock release;
+        Epoch lastWrite;
+        std::string lastWriteField;
+        /// Reads since the last write (std::map: deterministic order).
+        std::map<ThreadId, std::uint32_t> reads;
+    };
+
+    ThreadId makeThread(std::string name);
+    ThreadState &thread(ThreadId t);
+    void tick(ThreadId t);
+    static void join(Clock &dst, const Clock &src);
+    static bool ordered(const Epoch &e, const Clock &by);
+    void report(ReportKind kind, std::string what);
+
+    bool enabled_ = false;
+    std::uint32_t maxStored_ = 256;
+    std::function<std::uint64_t()> now_;
+
+    std::vector<ThreadState> threads_;
+    std::unordered_map<std::uint32_t, ThreadId> waveThreads_;
+    std::unordered_map<std::uint32_t, ThreadId> workerThreads_;
+    std::unordered_map<std::string, ThreadId> namedThreads_;
+    ThreadId actor_ = kNoThread;
+
+    std::unordered_map<std::uint32_t, SlotSync> slots_;
+    std::unordered_map<std::uint64_t, Clock> barriers_;
+    std::unordered_map<std::uint32_t, Clock> interruptChannel_;
+    std::unordered_map<std::uint32_t, Clock> wakeChannel_;
+    struct DroppedWake
+    {
+        std::uint32_t count = 0;
+        std::string lastSender;
+    };
+    std::unordered_map<std::uint32_t, DroppedWake> droppedWakes_;
+
+    std::vector<Report> reports_;
+    std::uint64_t totalReports_ = 0;
+    std::uint64_t byKind_[3] = {};
+};
+
+} // namespace genesys::gsan
+
+#endif // GENESYS_SUPPORT_GSAN_HH

@@ -5,7 +5,9 @@
 
 #include "fbdisplay.hh"
 
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 
 #include "osk/devices.hh"
@@ -14,6 +16,17 @@
 
 namespace genesys::workloads
 {
+
+std::string
+artifactPath(const std::string &name)
+{
+    const char *dir = std::getenv("GENESYS_OUT_DIR");
+    std::filesystem::path out =
+        (dir != nullptr && dir[0] != '\0') ? dir : "build/artifacts";
+    std::error_code ec;
+    std::filesystem::create_directories(out, ec); // best-effort
+    return (out / name).string();
+}
 
 std::vector<std::uint8_t>
 makeTestRaster(std::uint32_t width, std::uint32_t height)

@@ -49,6 +49,14 @@ FbDisplayResult runFbDisplay(core::System &sys,
 std::string framebufferToPpm(const std::vector<std::uint8_t> &rgba,
                              std::uint32_t width, std::uint32_t height);
 
+/**
+ * Resolve where a host-side output artifact (PPM dumps etc.) should be
+ * written: `$GENESYS_OUT_DIR/<name>`, defaulting to build/artifacts/
+ * so generated images never land in the source tree. The directory is
+ * created if missing.
+ */
+std::string artifactPath(const std::string &name);
+
 } // namespace genesys::workloads
 
 #endif // GENESYS_WORKLOADS_FBDISPLAY_HH

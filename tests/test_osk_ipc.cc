@@ -250,7 +250,7 @@ TEST(WorkQueue, ExecutesEnqueuedTasks)
     WorkQueue wq(sim, cpus, params, 4);
     int done = 0;
     for (int i = 0; i < 8; ++i) {
-        wq.enqueue([&sim, &done]() -> sim::Task<> {
+        wq.enqueue([&sim, &done](std::uint32_t) -> sim::Task<> {
             co_await sim.delay(ticks::us(1));
             ++done;
         });
@@ -268,7 +268,7 @@ TEST(WorkQueue, DispatchLatencyCharged)
     CpuCluster cpus(sim, 1);
     WorkQueue wq(sim, cpus, params, 1);
     Tick started = 0;
-    wq.enqueue([&sim, &started]() -> sim::Task<> {
+    wq.enqueue([&sim, &started](std::uint32_t) -> sim::Task<> {
         started = sim.now();
         co_return;
     });
@@ -285,7 +285,7 @@ TEST(WorkQueue, LimitedWorkersBoundConcurrency)
     WorkQueue wq(sim, cpus, params, 2);
     int active = 0, peak = 0;
     for (int i = 0; i < 6; ++i) {
-        wq.enqueue([&sim, &active, &peak]() -> sim::Task<> {
+        wq.enqueue([&sim, &active, &peak](std::uint32_t) -> sim::Task<> {
             ++active;
             peak = std::max(peak, active);
             co_await sim.delay(ticks::us(5));
