@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Ablation: syscall-area shard count x workqueue worker count x
+ * invocation rate (service-path architecture, DESIGN.md §10).
+ *
+ * The sharded area splits interrupt routing, coalescing, and batch
+ * dispatch per CU block; per-worker dispatch lets the shards' batches
+ * execute on distinct OS workers (bounded by CPU cores). One shard +
+ * one worker reproduces the seed's fully serialized service path; the
+ * sweep measures how much service throughput the split recovers as
+ * GPU-side invocation pressure grows.
+ *
+ * Every run executes with the gsan happens-before sanitizer enabled;
+ * the binary exits nonzero if any run produces a report.
+ *
+ * Usage: abl_shard_scaling [--quick]
+ *   --quick  two configs per workload on small corpora (CI smoke).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "bench/common.hh"
+#include "workloads/grep.hh"
+#include "workloads/memcached.hh"
+#include "workloads/wordcount.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+
+namespace
+{
+
+struct SweepPoint
+{
+    std::uint32_t shards;
+    std::uint32_t workers;
+};
+
+struct RunOutcome
+{
+    double throughput = 0.0; ///< workload-specific (MB/s or kops/s)
+    std::uint64_t gsanReports = 0;
+};
+
+std::uint64_t g_totalGsanReports = 0;
+
+core::System
+shardedSystem(std::uint32_t shards, std::uint32_t workers)
+{
+    core::SystemConfig cfg; // paper platform: 8 CUs, 4 CPU cores
+    cfg.genesys.areaShards = shards;
+    cfg.kernel.workqueueWorkers = workers;
+    return core::System(cfg);
+}
+
+/** grep -F -l at work-group granularity; MB scanned per second. */
+RunOutcome
+runGrepPoint(const SweepPoint &p, std::uint32_t num_files)
+{
+    core::System sys = shardedSystem(p.shards, p.workers);
+    sys.gsan().setEnabled(true);
+    // Coalesce into batches so the 1-shard baseline serializes its
+    // handler chain the way the seed did under load.
+    sys.host().setCoalescing(ticks::us(2), 8);
+    workloads::GrepCorpusConfig cfg;
+    cfg.numFiles = num_files;
+    cfg.fileBytes = 4 * 1024;
+    const auto corpus = workloads::buildGrepCorpus(sys, cfg);
+    const auto res =
+        workloads::runGrep(sys, corpus, workloads::GrepMode::GpuWorkGroup);
+    RunOutcome out;
+    out.gsanReports = sys.gsan().reportCount();
+    if (!res.correct || res.elapsed == 0)
+        return out;
+    out.throughput = static_cast<double>(corpus.totalBytes) /
+                     (ticks::toUs(res.elapsed) /* us */);
+    return out; // bytes/us == MB/s
+}
+
+/** GENESYS wordcount; corpus MB read per second. */
+RunOutcome
+runWordcountPoint(const SweepPoint &p, std::uint32_t num_files)
+{
+    core::System sys = shardedSystem(p.shards, p.workers);
+    sys.gsan().setEnabled(true);
+    sys.host().setCoalescing(ticks::us(2), 8);
+    workloads::WordcountCorpusConfig cfg;
+    cfg.numFiles = num_files;
+    cfg.fileBytes = 32 * 1024;
+    const auto corpus = workloads::buildWordcountCorpus(sys, cfg);
+    const auto res = workloads::runWordcount(
+        sys, corpus, workloads::WordcountMode::Genesys);
+    RunOutcome out;
+    out.gsanReports = sys.gsan().reportCount();
+    if (!res.correct || res.elapsed == 0)
+        return out;
+    out.throughput = static_cast<double>(corpus.totalBytes) /
+                     ticks::toUs(res.elapsed);
+    return out;
+}
+
+/**
+ * GPU-served memcached GETs; kops/s from the harness.
+ *
+ * The persistent server parks one worker per in-flight blocking
+ * recvfrom (real cmwq escapes this with rescuer threads; our pool is
+ * fixed), so the worker pool gets a floor of server-groups + a reply
+ * reserve on top of the sweep's worker count. The synchronous client
+ * rate-limits this workload — expect a flat row (it rides along for
+ * regression and sanitizer coverage, not for the scaling claim).
+ */
+RunOutcome
+runMemcachedPoint(const SweepPoint &p, std::uint32_t num_gets)
+{
+    workloads::MemcachedConfig cfg;
+    cfg.useGpu = true;
+    cfg.numGets = num_gets;
+    cfg.elemsPerBucket = 64;
+    core::System sys = shardedSystem(
+        p.shards, p.workers + cfg.gpuServerGroups + 2);
+    sys.gsan().setEnabled(true);
+    const auto res = workloads::runMemcached(sys, cfg);
+    RunOutcome out;
+    out.gsanReports = sys.gsan().reportCount();
+    if (!res.correct)
+        return out;
+    out.throughput = res.throughputKops;
+    return out;
+}
+
+using PointFn = RunOutcome (*)(const SweepPoint &, std::uint32_t);
+
+void
+sweepWorkload(const char *name, const char *unit, PointFn fn,
+              const std::vector<SweepPoint> &points,
+              const std::vector<std::uint32_t> &rates,
+              const char *rate_label)
+{
+    TextTable t(logging::format("%s (%s)", name, unit));
+    std::vector<std::string> header = {"shards x workers"};
+    for (auto r : rates)
+        header.push_back(logging::format("%s=%u", rate_label, r));
+    t.setHeader(header);
+
+    // throughput[rate] at the serialized baseline and the widest split.
+    std::vector<double> base(rates.size(), 0.0);
+    std::vector<double> wide(rates.size(), 0.0);
+    for (const auto &p : points) {
+        std::vector<std::string> row = {
+            logging::format("%u x %u", p.shards, p.workers)};
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+            const RunOutcome out = fn(p, rates[ri]);
+            g_totalGsanReports += out.gsanReports;
+            row.push_back(out.throughput > 0
+                              ? logging::format("%.1f", out.throughput)
+                              : std::string("FAIL"));
+            if (p.shards == points.front().shards &&
+                p.workers == points.front().workers)
+                base[ri] = out.throughput;
+            if (p.shards == points.back().shards &&
+                p.workers == points.back().workers)
+                wide[ri] = out.throughput;
+        }
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        if (base[ri] > 0) {
+            std::printf("  %s %s=%u speedup %ux%u -> %ux%u: %.2fx\n",
+                        name, rate_label, rates[ri],
+                        points.front().shards, points.front().workers,
+                        points.back().shards, points.back().workers,
+                        wide[ri] / base[ri]);
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    banner("Ablation: shard scaling",
+           "syscall-area shards x workqueue workers x invocation rate "
+           "(1 shard x 1 worker = the serialized seed service path)");
+
+    // First point is the serialized baseline, last the widest split;
+    // the speedup lines compare exactly those two.
+    const std::vector<SweepPoint> points =
+        quick ? std::vector<SweepPoint>{{1, 1}, {8, 4}}
+              : std::vector<SweepPoint>{
+                    {1, 1}, {1, 4}, {2, 4}, {4, 4}, {8, 1}, {8, 4}};
+
+    const std::vector<std::uint32_t> grep_rates =
+        quick ? std::vector<std::uint32_t>{32}
+              : std::vector<std::uint32_t>{32, 128};
+    const std::vector<std::uint32_t> wc_rates =
+        quick ? std::vector<std::uint32_t>{16}
+              : std::vector<std::uint32_t>{16, 64};
+    const std::vector<std::uint32_t> mc_rates =
+        quick ? std::vector<std::uint32_t>{128}
+              : std::vector<std::uint32_t>{128, 512};
+
+    sweepWorkload("grep", "MB/s scanned", runGrepPoint, points,
+                  grep_rates, "files");
+    sweepWorkload("wordcount", "MB/s read", runWordcountPoint, points,
+                  wc_rates, "files");
+    sweepWorkload("memcached", "kops/s", runMemcachedPoint, points,
+                  mc_rates, "gets");
+
+    if (g_totalGsanReports > 0) {
+        std::printf("gsan: %llu report(s) across the sweep -- FAIL\n",
+                    static_cast<unsigned long long>(g_totalGsanReports));
+        return 1;
+    }
+    std::printf("gsan: clean across the sweep\n");
+    return 0;
+}

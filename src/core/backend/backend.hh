@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ServiceBackend: the pluggable CPU-side service-path interface.
+ *
+ * The GENESYS host is layered (DESIGN.md §10): a thin GenesysHost
+ * façade routes GPU doorbell interrupts to whichever ServiceBackend is
+ * active and delegates draining to it. Two implementations share one
+ * ServiceCore (slot scanning + syscall execution):
+ *
+ *  - InterruptBackend — the paper's pipeline (Section VI): interrupt
+ *    delivery, per-shard coalescing, and workqueue dispatch with
+ *    shard→worker steering.
+ *  - PollingDaemonBackend — the prior-work user-mode daemon [27]: one
+ *    pinned scanning thread per syscall-area shard.
+ *
+ * Mode selection is "which backend object is active", never a boolean
+ * inside a monolithic host.
+ */
+
+#ifndef GENESYS_CORE_BACKEND_BACKEND_HH
+#define GENESYS_CORE_BACKEND_BACKEND_HH
+
+#include <cstdint>
+
+#include "sim/task.hh"
+
+namespace genesys::core
+{
+
+class ServiceBackend
+{
+  public:
+    virtual ~ServiceBackend() = default;
+
+    /**
+     * GPU doorbell entry point. @p cu is the originating compute unit
+     * (the hardware's routing tag, which selects the syscall-area
+     * shard); @p hw_wave_slot identifies the requesting wavefront.
+     */
+    virtual void onGpuInterrupt(std::uint32_t cu,
+                                std::uint32_t hw_wave_slot) = 0;
+
+    /** Complete once every request this backend accepted is done. */
+    virtual sim::Task<> drain() = 0;
+
+    /** Human-readable backend name (stats/trace labels). */
+    virtual const char *name() const = 0;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_BACKEND_BACKEND_HH

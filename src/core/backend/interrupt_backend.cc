@@ -1,0 +1,137 @@
+/**
+ * @file
+ * InterruptBackend implementation.
+ */
+
+#include "interrupt_backend.hh"
+
+#include <utility>
+
+#include "sim/sync.hh"
+#include "support/gsan.hh"
+#include "support/trace.hh"
+
+namespace genesys::core
+{
+
+InterruptBackend::InterruptBackend(ServiceCore &core,
+                                   GenesysParams &params)
+    : core_(core), params_(params),
+      shards_(core.area().shardCount()),
+      drainWait_(std::make_unique<sim::WaitQueue>(
+          core.kernel().sim().events()))
+{}
+
+void
+InterruptBackend::onGpuInterrupt(std::uint32_t cu,
+                                 std::uint32_t hw_wave_slot)
+{
+    const std::uint32_t shard = core_.area().shardOfCu(cu);
+    ++interrupts_;
+    ++shards_[shard].interrupts;
+    ++inFlight_;
+    GENESYS_TRACE(core_.kernel().sim(), "genesys",
+                  "s_sendmsg interrupt from hw wave %u", hw_wave_slot);
+    core_.kernel().sim().spawn(interruptArrival(shard, hw_wave_slot));
+}
+
+sim::Task<>
+InterruptBackend::interruptArrival(std::uint32_t shard,
+                                   std::uint32_t hw_wave_slot)
+{
+    auto &eq = core_.kernel().sim().events();
+    const auto &osk_params = core_.kernel().params();
+    co_await sim::Delay(eq, osk_params.interruptDeliver);
+    co_await sim::Delay(eq, osk_params.interruptHandler);
+
+    ShardState &ss = shards_[shard];
+    ss.pendingBatch.push_back(hw_wave_slot);
+    if (params_.coalesceWindow == 0 ||
+        ss.pendingBatch.size() >= params_.coalesceMaxBatch) {
+        if (ss.batchTimerArmed) {
+            eq.deschedule(ss.batchTimer);
+            ss.batchTimerArmed = false;
+        }
+        flushPendingBatch(shard);
+    } else if (!ss.batchTimerArmed) {
+        ss.batchTimerArmed = true;
+        ss.batchTimer =
+            eq.scheduleIn(params_.coalesceWindow, [this, shard] {
+                shards_[shard].batchTimerArmed = false;
+                flushPendingBatch(shard);
+            });
+    }
+}
+
+void
+InterruptBackend::flushPendingBatch(std::uint32_t shard)
+{
+    ShardState &ss = shards_[shard];
+    if (ss.pendingBatch.empty())
+        return;
+    std::vector<std::uint32_t> batch =
+        std::exchange(ss.pendingBatch, {});
+    ++batches_;
+    GENESYS_TRACE(core_.kernel().sim(), "genesys",
+                  "dispatching coalesced batch of %zu wave(s)",
+                  batch.size());
+    batchSizes_.sample(static_cast<double>(batch.size()));
+    core_.kernel().workqueue().enqueueOn(
+        steerTarget(shard),
+        [this, batch = std::move(batch)](
+            std::uint32_t worker) mutable -> sim::Task<> {
+            return serviceBatch(std::move(batch), worker);
+        });
+}
+
+std::uint32_t
+InterruptBackend::steerTarget(std::uint32_t shard)
+{
+    const std::uint32_t active =
+        core_.kernel().workqueue().maxWorkers();
+    switch (params_.steering) {
+      case SteeringPolicy::RoundRobin:
+        return static_cast<std::uint32_t>(roundRobin_++ % active);
+      case SteeringPolicy::ShardAffinity:
+      default:
+        return shard % active;
+    }
+}
+
+sim::Task<>
+InterruptBackend::serviceBatch(std::vector<std::uint32_t> waves,
+                               std::uint32_t worker)
+{
+    auto &kernel = core_.kernel();
+    const auto &osk_params = kernel.params();
+    gsan::Sanitizer *gsan = core_.sanitizer();
+    // gsan models each OS worker as its own logical thread; slot
+    // accesses below are attributed to it.
+    const std::uint32_t servicer =
+        gsan != nullptr && gsan->enabled()
+            ? gsan->workerThread(worker)
+            : gsan::Sanitizer::kNoThread;
+    // The worker runs its task to completion on one core (Linux
+    // workqueue semantics), starting with the switch into the context
+    // of the process that launched the GPU kernel (Section VI).
+    co_await kernel.cpus().acquireCore();
+    co_await sim::Delay(kernel.sim().events(),
+                        osk_params.workqueueEnqueue +
+                            osk_params.contextSwitch);
+    for (std::uint32_t wave : waves) {
+        co_await core_.serviceWaveSlots(wave, servicer);
+        GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
+        --inFlight_;
+    }
+    kernel.cpus().releaseCore();
+    drainWait_->notifyAll();
+}
+
+sim::Task<>
+InterruptBackend::drain()
+{
+    while (inFlight_ > 0)
+        co_await drainWait_->wait();
+}
+
+} // namespace genesys::core

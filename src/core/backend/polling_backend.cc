@@ -1,0 +1,121 @@
+/**
+ * @file
+ * PollingDaemonBackend implementation.
+ */
+
+#include "polling_backend.hh"
+
+#include "sim/sync.hh"
+#include "support/gsan.hh"
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+
+PollingDaemonBackend::PollingDaemonBackend(ServiceCore &core,
+                                           Tick scan_interval)
+    : core_(core), scanInterval_(scan_interval),
+      exitWait_(std::make_unique<sim::WaitQueue>(
+          core.kernel().sim().events()))
+{}
+
+PollingDaemonBackend::~PollingDaemonBackend()
+{
+    if (liveLoops_ > 0) {
+        warn("polling daemon torn down with %u scan loop(s) live",
+             liveLoops_);
+    }
+}
+
+void
+PollingDaemonBackend::start()
+{
+    GENESYS_ASSERT(!running_ && liveLoops_ == 0,
+                   "daemon already running");
+    running_ = true;
+    liveLoops_ = core_.area().shardCount();
+    for (std::uint32_t s = 0; s < core_.area().shardCount(); ++s) {
+        core_.kernel().sim().spawn(
+            core_.kernel().cpus().run(daemonLoop(s)));
+    }
+}
+
+void
+PollingDaemonBackend::requestStop()
+{
+    running_ = false;
+}
+
+std::uint32_t
+PollingDaemonBackend::daemonThread(std::uint32_t shard) const
+{
+    gsan::Sanitizer *g = core_.sanitizer();
+    if (g == nullptr || !g->enabled())
+        return gsan::Sanitizer::kNoThread;
+    // Single-shard areas keep the historical thread name.
+    if (core_.area().shardCount() == 1)
+        return g->namedThread("cpu-daemon");
+    return g->namedThread(
+        logging::format("cpu-daemon-%u", shard));
+}
+
+void
+PollingDaemonBackend::onGpuInterrupt(std::uint32_t, std::uint32_t)
+{
+    // Prior-work backend: no interrupt path; the sweep finds the slot.
+}
+
+sim::Task<>
+PollingDaemonBackend::daemonLoop(std::uint32_t shard)
+{
+    auto &eq = core_.kernel().sim().events();
+    const std::uint32_t first = core_.area().shardFirstSlot(shard);
+    const std::uint32_t count = core_.area().shardSlotCount();
+    const std::uint32_t lanes = core_.area().wavefrontSize();
+    // Daemons pay the user/kernel crossing per call and hold their
+    // core across the whole sweep (no release around blocking calls).
+    const ServiceCore::ScanPolicy policy{
+        .chargeSyscallBase = true,
+        .releaseCoreOnBlocking = false,
+        .tracePerCall = false,
+    };
+    // The final iteration after requestStop() still sweeps once, so
+    // requests published while the stop raced in are not stranded.
+    bool last_sweep = false;
+    while (!last_sweep) {
+        last_sweep = !running_;
+        // User-mode scan over the shard's slot range.
+        co_await sim::Delay(eq, ticks::us(2));
+        bool any = false;
+        for (std::uint32_t i = first; i < first + count; ++i) {
+            const bool did = co_await core_.serviceSlot(
+                core_.area().slot(i), daemonThread(shard), i / lanes,
+                i % lanes, policy);
+            any = any || did;
+        }
+        ++sweeps_;
+        if (!any && !last_sweep)
+            co_await sim::Delay(eq, scanInterval_);
+    }
+    GENESYS_ASSERT(liveLoops_ > 0, "daemon loop underflow");
+    --liveLoops_;
+    exitWait_->notifyAll();
+}
+
+sim::Task<>
+PollingDaemonBackend::stopped()
+{
+    while (liveLoops_ > 0)
+        co_await exitWait_->wait();
+}
+
+sim::Task<>
+PollingDaemonBackend::drain()
+{
+    // The daemon has no in-flight counter; poll area quiescence.
+    while (!core_.area().quiescent())
+        co_await sim::Delay(core_.kernel().sim().events(),
+                            ticks::us(10));
+}
+
+} // namespace genesys::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PollingDaemonBackend: the prior-work user-mode service daemon [27],
+ * one pinned scanning thread per syscall-area shard.
+ *
+ * Each daemon burns a CPU core sweeping its shard's slot range every
+ * scan interval, servicing ready slots through the shared ServiceCore
+ * (paying the user/kernel crossing the interrupt path's in-kernel
+ * worker avoids). Stopping is a request: every daemon performs one
+ * final sweep — so requests racing the stop are not stranded — and
+ * then exits; stopped() (and the façade's drain()) joins the exits so
+ * no scan coroutine outlives teardown.
+ */
+
+#ifndef GENESYS_CORE_BACKEND_POLLING_BACKEND_HH
+#define GENESYS_CORE_BACKEND_POLLING_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/backend/backend.hh"
+#include "core/backend/service_core.hh"
+
+namespace genesys::core
+{
+
+class PollingDaemonBackend : public ServiceBackend
+{
+  public:
+    PollingDaemonBackend(ServiceCore &core, Tick scan_interval);
+    ~PollingDaemonBackend() override;
+
+    /** Spawn one daemon per shard (each occupies a CPU core). */
+    void start();
+
+    /**
+     * Ask every daemon to stop. Asynchronous: each loop finishes its
+     * current scan, sweeps once more, and exits; await stopped() to
+     * join them.
+     */
+    void requestStop();
+
+    /** True from start() until requestStop(). */
+    bool running() const { return running_; }
+    /** Daemon loops that have not exited yet. */
+    std::uint32_t liveLoops() const { return liveLoops_; }
+
+    /** Complete once every daemon loop has exited (after
+     *  requestStop()); completes immediately if none is live. */
+    sim::Task<> stopped();
+
+    /** The daemon has no interrupt path: doorbells are ignored, the
+     *  sweep discovers ready slots by scanning (matching [27]). */
+    void onGpuInterrupt(std::uint32_t cu,
+                        std::uint32_t hw_wave_slot) override;
+    sim::Task<> drain() override;
+    const char *name() const override { return "polling-daemon"; }
+
+    std::uint64_t sweeps() const { return sweeps_; }
+
+  private:
+    sim::Task<> daemonLoop(std::uint32_t shard);
+    /** gsan actor for @p shard's daemon ("cpu-daemon" when single). */
+    std::uint32_t daemonThread(std::uint32_t shard) const;
+
+    ServiceCore &core_;
+    Tick scanInterval_;
+    bool running_ = false;
+    std::uint32_t liveLoops_ = 0;
+    std::uint64_t sweeps_ = 0;
+    std::unique_ptr<sim::WaitQueue> exitWait_;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_BACKEND_POLLING_BACKEND_HH

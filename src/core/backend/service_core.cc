@@ -1,0 +1,137 @@
+/**
+ * @file
+ * ServiceCore implementation.
+ */
+
+#include "service_core.hh"
+
+#include <cerrno>
+
+#include "sim/sync.hh"
+#include "support/gsan.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace genesys::core
+{
+
+sim::Task<std::int64_t>
+ServiceCore::executeSlotCall(const SyscallSlot &slot)
+{
+    const int sysno = slot.sysno();
+    osk::SyscallArgs args = slot.args();
+
+    std::int64_t ret =
+        co_await kernel_.doSyscallFaultable(proc_, sysno, args);
+    if (slot.blocking())
+        co_return ret; // requester-side libc layer recovers
+
+    const bool transfer = osk::transferSyscall(sysno);
+    const std::uint64_t want = transfer ? args.a[2] : 0;
+    std::uint64_t done = 0;
+    std::uint32_t rounds = 0;
+    for (;;) {
+        if ((ret == -EINTR || ret == -EAGAIN) &&
+            rounds < params_.eintrMaxRestarts) {
+            ++rounds;
+            ++hostRestarts_;
+            ret = co_await kernel_.doSyscallFaultable(proc_, sysno,
+                                                      args);
+            continue;
+        }
+        if (!transfer || ret <= 0)
+            break;
+        done += static_cast<std::uint64_t>(ret);
+        if (done >= want)
+            break;
+        if (rounds >= params_.eintrMaxRestarts)
+            break;
+        ++rounds;
+        ++hostRestarts_;
+        osk::advanceTransferArgs(sysno, args,
+                                 static_cast<std::uint64_t>(ret));
+        ret = co_await kernel_.doSyscallFaultable(proc_, sysno, args);
+    }
+    co_return transfer && done > 0 ? static_cast<std::int64_t>(done)
+                                   : ret;
+}
+
+sim::Task<bool>
+ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
+                         std::uint32_t hw_wave_slot, std::uint32_t lane,
+                         ScanPolicy policy)
+{
+    const bool san = gsan_ != nullptr && gsan_->enabled() &&
+                     servicer != gsan::Sanitizer::kNoThread;
+    if (san)
+        gsan_->setActor(servicer);
+    if (!slot.beginProcessing())
+        co_return false;
+    if (policy.chargeSyscallBase) {
+        // Thunking into the kernel costs a user/kernel crossing
+        // beyond the syscall itself (Section IX, related work).
+        co_await sim::Delay(kernel_.sim().events(),
+                            kernel_.params().syscallBase);
+    }
+    // Calls that can block indefinitely (recvfrom on an empty
+    // socket, read on an empty pipe, nanosleep) release the core
+    // — a blocked kernel thread schedules away — and re-acquire
+    // afterwards.
+    const bool may_block =
+        policy.releaseCoreOnBlocking &&
+        (slot.sysno() == osk::sysno::recvfrom ||
+         slot.sysno() == osk::sysno::read ||
+         slot.sysno() == osk::sysno::nanosleep);
+    if (may_block)
+        kernel_.cpus().releaseCore();
+    const std::int64_t ret = co_await executeSlotCall(slot);
+    if (may_block)
+        co_await kernel_.cpus().acquireCore();
+    if (policy.tracePerCall) {
+        GENESYS_TRACE(kernel_.sim(), "syscall",
+                      "wave %u lane %u: %s -> %lld", hw_wave_slot, lane,
+                      kernel_.syscalls().name(slot.sysno()).c_str(),
+                      static_cast<long long>(ret));
+    }
+    const bool wake = slot.blocking() &&
+                      slot.waitMode() == WaitMode::HaltResume;
+    // Read the requester id BEFORE complete(): completing a
+    // blocking slot publishes Finished, after which the GPU may
+    // consume and even recycle the slot under a new requester —
+    // reading hwWaveSlot() afterwards is a use-after-release
+    // (found by gsan's payload-ownership discipline).
+    const std::uint32_t requester = slot.hwWaveSlot();
+    if (san)
+        gsan_->setActor(servicer);
+    slot.complete(ret);
+    ++processed_;
+    area_.noteProcessed(area_.shardOfWave(requester));
+    if (wake)
+        gpu_.resumeWave(requester);
+    co_return true;
+}
+
+sim::Task<int>
+ServiceCore::serviceWaveSlots(std::uint32_t hw_wave_slot,
+                              std::uint32_t servicer)
+{
+    const bool san = gsan_ != nullptr && gsan_->enabled() &&
+                     servicer != gsan::Sanitizer::kNoThread;
+    if (san) {
+        // The s_sendmsg interrupt is the edge that told this worker
+        // the wave has requests outstanding.
+        gsan_->interruptReceive(hw_wave_slot, servicer);
+    }
+    const std::uint32_t first = area_.firstItemSlotOfWave(hw_wave_slot);
+    int handled = 0;
+    for (std::uint32_t lane = 0; lane < area_.wavefrontSize(); ++lane) {
+        const bool did = co_await serviceSlot(
+            area_.slot(first + lane), servicer, hw_wave_slot, lane,
+            ScanPolicy{});
+        if (did)
+            ++handled;
+    }
+    co_return handled;
+}
+
+} // namespace genesys::core

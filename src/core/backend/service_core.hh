@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ServiceCore: the slot scanner + syscall executor shared by every
+ * ServiceBackend.
+ *
+ * Before the backend split, the interrupt path and the polling daemon
+ * each carried their own near-identical slot-scan loop in
+ * GenesysHost — and they drifted (the latched-hwWaveSlot fix had to
+ * land twice). serviceSlot() is now the single per-slot service step;
+ * the backends differ only in the ScanPolicy they pass and in how they
+ * discover slots to scan.
+ */
+
+#ifndef GENESYS_CORE_BACKEND_SERVICE_CORE_HH
+#define GENESYS_CORE_BACKEND_SERVICE_CORE_HH
+
+#include <cstdint>
+
+#include "core/params.hh"
+#include "core/slot.hh"
+#include "gpu/gpu.hh"
+#include "osk/process.hh"
+
+namespace genesys::core
+{
+
+class ServiceCore
+{
+  public:
+    /**
+     * How a backend's scan loop services each slot. The interrupt
+     * path's workers release their CPU core around potentially
+     * indefinitely-blocking calls and trace per call; the daemon pays
+     * the user/kernel crossing (syscallBase) that the interrupt path's
+     * in-kernel worker does not.
+     */
+    struct ScanPolicy
+    {
+        bool chargeSyscallBase = false;
+        bool releaseCoreOnBlocking = true;
+        bool tracePerCall = true;
+    };
+
+    ServiceCore(osk::Kernel &kernel, gpu::GpuDevice &gpu,
+                SyscallArea &area, osk::Process &proc,
+                const GenesysParams &params)
+        : kernel_(kernel), gpu_(gpu), area_(area), proc_(proc),
+          params_(params)
+    {}
+
+    /**
+     * Service one slot if it is Ready: take it to Processing, execute
+     * the call in the launching process's context, deposit the result,
+     * and wake a halt-resume requester. @p servicer is the gsan thread
+     * of the servicing CPU context (kNoThread when the sanitizer is
+     * off); @p hw_wave_slot / @p lane only label the trace line.
+     * @return true when a ready slot was handled.
+     */
+    sim::Task<bool> serviceSlot(SyscallSlot &slot,
+                                std::uint32_t servicer,
+                                std::uint32_t hw_wave_slot,
+                                std::uint32_t lane,
+                                ScanPolicy policy);
+
+    /**
+     * Interrupt-path scan: process every ready slot of the signalled
+     * wavefront. Emits the gsan interrupt-receive edge first.
+     * @return the number of slots handled.
+     */
+    sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot,
+                                    std::uint32_t servicer);
+
+    // --- stats ------------------------------------------------------
+    std::uint64_t processed() const { return processed_; }
+    /** Fault recoveries performed for non-blocking slots. */
+    std::uint64_t hostRestarts() const { return hostRestarts_; }
+
+    void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }
+    gsan::Sanitizer *sanitizer() const { return gsan_; }
+
+    osk::Kernel &kernel() { return kernel_; }
+    SyscallArea &area() { return area_; }
+
+  private:
+    /**
+     * Execute @p slot's call through the fault-injectable dispatch
+     * path. Blocking slots get the raw (possibly faulted) result —
+     * the GPU requester owns recovery. For non-blocking slots nobody
+     * reads the result, so the host itself restarts transient faults
+     * and continues short transfers; otherwise an injected EINTR
+     * would silently swallow a fire-and-forget call (e.g. a dropped
+     * rt_sigqueueinfo in the signal-search workload).
+     */
+    sim::Task<std::int64_t> executeSlotCall(const SyscallSlot &slot);
+
+    osk::Kernel &kernel_;
+    gpu::GpuDevice &gpu_;
+    SyscallArea &area_;
+    osk::Process &proc_;
+    const GenesysParams &params_;
+    gsan::Sanitizer *gsan_ = nullptr;
+
+    std::uint64_t processed_ = 0;
+    std::uint64_t hostRestarts_ = 0;
+};
+
+} // namespace genesys::core
+
+#endif // GENESYS_CORE_BACKEND_SERVICE_CORE_HH

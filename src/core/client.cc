@@ -154,6 +154,7 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
     slot.publish(sysno, args, inv.blocking == Blocking::Blocking,
                  inv.waitMode, ctx.hwWaveSlot());
     ++issued_;
+    area_.noteIssued(area_.shardOfWave(ctx.hwWaveSlot()));
     GENESYS_TRACE(ctx.sim(), "genesys",
                   "wave %u publishes sysno %d (%s, %s, %s)",
                   ctx.hwWaveSlot(), sysno, orderingName(inv.ordering),
@@ -395,6 +396,7 @@ GpuSyscalls::invokeWorkItems(
                          inv.blocking == Blocking::Blocking,
                          inv.waitMode, ctx.hwWaveSlot());
             ++issued_;
+            area_.noteIssued(area_.shardOfWave(ctx.hwWaveSlot()));
             first = false;
         }
 

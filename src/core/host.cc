@@ -1,18 +1,12 @@
 /**
  * @file
- * GenesysHost implementation.
+ * GenesysHost façade implementation.
  */
 
 #include "host.hh"
 
-#include <cerrno>
-#include <utility>
-
 #include "osk/sysfs.hh"
-#include "sim/sync.hh"
-#include "support/gsan.hh"
 #include "support/logging.hh"
-#include "support/trace.hh"
 
 namespace genesys::core
 {
@@ -20,12 +14,16 @@ namespace genesys::core
 GenesysHost::GenesysHost(osk::Kernel &kernel, gpu::GpuDevice &gpu,
                          SyscallArea &area, osk::Process &proc,
                          const GenesysParams &params)
-    : kernel_(kernel), gpu_(gpu), area_(area), proc_(proc),
-      params_(params),
-      drainWait_(std::make_unique<sim::WaitQueue>(kernel.sim().events()))
+    : kernel_(kernel), params_(params),
+      core_(std::make_unique<ServiceCore>(kernel, gpu, area, proc,
+                                          params_)),
+      interrupt_(std::make_unique<InterruptBackend>(*core_, params_)),
+      active_(interrupt_.get())
 {
-    gpu_.setInterruptSink(
-        [this](std::uint32_t hw_wave) { onGpuInterrupt(hw_wave); });
+    gpu.setInterruptSink(
+        [this](std::uint32_t cu, std::uint32_t hw_wave_slot) {
+            onGpuInterrupt(cu, hw_wave_slot);
+        });
 
     // The paper's sysfs control surface (Section VI): coalescing is
     // tuned by writing /sys/genesys/coalesce_{window_ns,max_batch}.
@@ -61,247 +59,44 @@ GenesysHost::setCoalescing(Tick window, std::uint32_t max_batch)
 }
 
 void
-GenesysHost::onGpuInterrupt(std::uint32_t hw_wave_slot)
+GenesysHost::onGpuInterrupt(std::uint32_t cu,
+                            std::uint32_t hw_wave_slot)
 {
-    if (daemonRunning_)
-        return; // prior-work backend: no interrupt path
-    ++interrupts_;
-    ++inFlight_;
-    GENESYS_TRACE(kernel_.sim(), "genesys",
-                  "s_sendmsg interrupt from hw wave %u", hw_wave_slot);
-    kernel_.sim().spawn(interruptArrival(hw_wave_slot));
-}
-
-sim::Task<>
-GenesysHost::interruptArrival(std::uint32_t hw_wave_slot)
-{
-    auto &eq = kernel_.sim().events();
-    const auto &osk_params = kernel_.params();
-    co_await sim::Delay(eq, osk_params.interruptDeliver);
-    co_await sim::Delay(eq, osk_params.interruptHandler);
-
-    pendingBatch_.push_back(hw_wave_slot);
-    if (params_.coalesceWindow == 0 ||
-        pendingBatch_.size() >= params_.coalesceMaxBatch) {
-        if (batchTimerArmed_) {
-            eq.deschedule(batchTimer_);
-            batchTimerArmed_ = false;
-        }
-        flushPendingBatch();
-    } else if (!batchTimerArmed_) {
-        batchTimerArmed_ = true;
-        batchTimer_ = eq.scheduleIn(params_.coalesceWindow, [this] {
-            batchTimerArmed_ = false;
-            flushPendingBatch();
-        });
-    }
-}
-
-void
-GenesysHost::flushPendingBatch()
-{
-    if (pendingBatch_.empty())
-        return;
-    std::vector<std::uint32_t> batch = std::exchange(pendingBatch_, {});
-    ++batches_;
-    GENESYS_TRACE(kernel_.sim(), "genesys",
-                  "dispatching coalesced batch of %zu wave(s)",
-                  batch.size());
-    batchSizes_.sample(static_cast<double>(batch.size()));
-    kernel_.workqueue().enqueue(
-        [this, batch = std::move(batch)](
-            std::uint32_t worker) mutable -> sim::Task<> {
-            return serviceBatch(std::move(batch), worker);
-        });
-}
-
-sim::Task<>
-GenesysHost::serviceBatch(std::vector<std::uint32_t> waves,
-                          std::uint32_t worker)
-{
-    const auto &osk_params = kernel_.params();
-    // gsan models each OS worker as its own logical thread; slot
-    // accesses below are attributed to it.
-    const std::uint32_t servicer =
-        gsan_ != nullptr && gsan_->enabled()
-            ? gsan_->workerThread(worker)
-            : gsan::Sanitizer::kNoThread;
-    // The worker runs its task to completion on one core (Linux
-    // workqueue semantics), starting with the switch into the context
-    // of the process that launched the GPU kernel (Section VI).
-    co_await kernel_.cpus().acquireCore();
-    co_await sim::Delay(kernel_.sim().events(),
-                        osk_params.workqueueEnqueue +
-                            osk_params.contextSwitch);
-    for (std::uint32_t wave : waves) {
-        co_await serviceWaveSlots(wave, servicer);
-        GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
-        --inFlight_;
-    }
-    kernel_.cpus().releaseCore();
-    drainWait_->notifyAll();
-}
-
-sim::Task<std::int64_t>
-GenesysHost::executeSlotCall(const SyscallSlot &slot)
-{
-    const int sysno = slot.sysno();
-    osk::SyscallArgs args = slot.args();
-
-    std::int64_t ret =
-        co_await kernel_.doSyscallFaultable(proc_, sysno, args);
-    if (slot.blocking())
-        co_return ret; // requester-side libc layer recovers
-
-    const bool transfer = osk::transferSyscall(sysno);
-    const std::uint64_t want = transfer ? args.a[2] : 0;
-    std::uint64_t done = 0;
-    std::uint32_t rounds = 0;
-    for (;;) {
-        if ((ret == -EINTR || ret == -EAGAIN) &&
-            rounds < params_.eintrMaxRestarts) {
-            ++rounds;
-            ++hostRestarts_;
-            ret = co_await kernel_.doSyscallFaultable(proc_, sysno,
-                                                      args);
-            continue;
-        }
-        if (!transfer || ret <= 0)
-            break;
-        done += static_cast<std::uint64_t>(ret);
-        if (done >= want)
-            break;
-        if (rounds >= params_.eintrMaxRestarts)
-            break;
-        ++rounds;
-        ++hostRestarts_;
-        osk::advanceTransferArgs(sysno, args,
-                                 static_cast<std::uint64_t>(ret));
-        ret = co_await kernel_.doSyscallFaultable(proc_, sysno, args);
-    }
-    co_return transfer && done > 0 ? static_cast<std::int64_t>(done)
-                                   : ret;
-}
-
-sim::Task<int>
-GenesysHost::serviceWaveSlots(std::uint32_t hw_wave_slot,
-                              std::uint32_t servicer)
-{
-    const bool san =
-        gsan_ != nullptr && gsan_->enabled() &&
-        servicer != gsan::Sanitizer::kNoThread;
-    if (san) {
-        // The s_sendmsg interrupt is the edge that told this worker
-        // the wave has requests outstanding.
-        gsan_->interruptReceive(hw_wave_slot, servicer);
-    }
-    const std::uint32_t first = area_.firstItemSlotOfWave(hw_wave_slot);
-    int handled = 0;
-    for (std::uint32_t lane = 0; lane < area_.wavefrontSize(); ++lane) {
-        SyscallSlot &slot = area_.slot(first + lane);
-        if (san)
-            gsan_->setActor(servicer);
-        if (!slot.beginProcessing())
-            continue;
-        // Calls that can block indefinitely (recvfrom on an empty
-        // socket, read on an empty pipe, nanosleep) release the core
-        // — a blocked kernel thread schedules away — and re-acquire
-        // afterwards.
-        const bool may_block =
-            slot.sysno() == osk::sysno::recvfrom ||
-            slot.sysno() == osk::sysno::read ||
-            slot.sysno() == osk::sysno::nanosleep;
-        if (may_block)
-            kernel_.cpus().releaseCore();
-        const std::int64_t ret = co_await executeSlotCall(slot);
-        if (may_block)
-            co_await kernel_.cpus().acquireCore();
-        GENESYS_TRACE(kernel_.sim(), "syscall",
-                      "wave %u lane %u: %s -> %lld", hw_wave_slot, lane,
-                      kernel_.syscalls().name(slot.sysno()).c_str(),
-                      static_cast<long long>(ret));
-        const bool wake = slot.blocking() &&
-                          slot.waitMode() == WaitMode::HaltResume;
-        // Read the requester id BEFORE complete(): completing a
-        // blocking slot publishes Finished, after which the GPU may
-        // consume and even recycle the slot under a new requester —
-        // reading hwWaveSlot() afterwards is a use-after-release
-        // (found by gsan's payload-ownership discipline).
-        const std::uint32_t requester = slot.hwWaveSlot();
-        if (san)
-            gsan_->setActor(servicer);
-        slot.complete(ret);
-        ++processed_;
-        ++handled;
-        if (wake)
-            gpu_.resumeWave(requester);
-    }
-    co_return handled;
+    active_->onGpuInterrupt(cu, hw_wave_slot);
 }
 
 sim::Task<>
 GenesysHost::drain()
 {
-    if (daemonRunning_) {
-        // Daemon mode has no in-flight counter; poll area quiescence.
-        while (!area_.quiescent())
-            co_await sim::Delay(kernel_.sim().events(), ticks::us(10));
-        co_return;
+    if (daemon_ != nullptr && !daemon_->running()) {
+        // Stop was requested: join the final sweeps before looking at
+        // the interrupt path, so no scan coroutine outlives drain().
+        co_await daemon_->stopped();
     }
-    while (inFlight_ > 0)
-        co_await drainWait_->wait();
+    co_await active_->drain();
 }
 
 void
 GenesysHost::startPollingDaemon(Tick scan_interval)
 {
-    GENESYS_ASSERT(!daemonRunning_, "daemon already running");
-    daemonRunning_ = true;
-    kernel_.sim().spawn(
-        kernel_.cpus().run(daemonLoop(scan_interval)));
+    GENESYS_ASSERT(!daemonMode(), "daemon already running");
+    GENESYS_ASSERT(daemon_ == nullptr || daemon_->liveLoops() == 0,
+                   "previous daemon still winding down");
+    daemon_ =
+        std::make_unique<PollingDaemonBackend>(*core_, scan_interval);
+    daemon_->start();
+    active_ = daemon_.get();
 }
 
-sim::Task<>
-GenesysHost::daemonLoop(Tick scan_interval)
+void
+GenesysHost::stopDaemon()
 {
-    auto &eq = kernel_.sim().events();
-    const auto &osk_params = kernel_.params();
-    // The final iteration after stopDaemon() still sweeps once, so
-    // requests published while the stop raced in are not stranded.
-    bool last_sweep = false;
-    while (!last_sweep) {
-        last_sweep = !daemonRunning_;
-        // User-mode scan over the whole slot array.
-        co_await sim::Delay(eq, ticks::us(2));
-        bool any = false;
-        for (std::size_t i = 0; i < area_.slotCount(); ++i) {
-            SyscallSlot &slot = area_.slot(static_cast<std::uint32_t>(i));
-            const bool san = gsan_ != nullptr && gsan_->enabled();
-            if (san)
-                gsan_->setActor(gsan_->namedThread("cpu-daemon"));
-            if (!slot.beginProcessing())
-                continue;
-            any = true;
-            // Thunking into the kernel costs a user/kernel crossing
-            // beyond the syscall itself (Section IX, related work).
-            co_await sim::Delay(eq, osk_params.syscallBase);
-            const std::int64_t ret = co_await executeSlotCall(slot);
-            const bool wake = slot.blocking() &&
-                              slot.waitMode() == WaitMode::HaltResume;
-            // As in serviceWaveSlots: capture the requester before
-            // complete() releases the slot back to the GPU.
-            const std::uint32_t requester = slot.hwWaveSlot();
-            if (san)
-                gsan_->setActor(gsan_->namedThread("cpu-daemon"));
-            slot.complete(ret);
-            ++processed_;
-            if (wake)
-                gpu_.resumeWave(requester);
-        }
-        ++batches_;
-        if (!any && !last_sweep)
-            co_await sim::Delay(eq, scan_interval);
-    }
+    if (daemon_ == nullptr || !daemon_->running())
+        return;
+    daemon_->requestStop();
+    // Doorbells flow through the interrupt pipeline again; the
+    // daemon's final sweeps pick up anything already published.
+    active_ = interrupt_.get();
 }
 
 } // namespace genesys::core

@@ -1,20 +1,14 @@
 /**
  * @file
- * CPU-side GENESYS runtime.
+ * CPU-side GENESYS runtime façade.
  *
- * Implements the paper's CPU pipeline (Section VI): the GPU interrupt
- * arrives at a CPU core; the interrupt handler optionally coalesces
- * requests within a time window (bounded by a maximum batch size) and
- * enqueues a kernel task on Linux's work-queue; an OS worker thread
- * later scans the 64 syscall-area slots of each signalled wavefront,
- * atomically switches ready requests to processing, borrows the
- * context of the CPU process that launched the GPU kernel, executes
- * the system call, writes the result back, and wakes the requester
- * (polling-visible store or halt-resume message).
- *
- * An alternate prior-work backend — a user-mode polling daemon that
- * burns a CPU core scanning the slot array [27] — is provided for the
- * ablation study.
+ * GenesysHost keeps the historical surface (interrupt entry, drain,
+ * coalescing knobs, daemon control, stats) but the service path itself
+ * is layered (DESIGN.md §10): a ServiceBackend — InterruptBackend for
+ * the paper's interrupt + workqueue pipeline, PollingDaemonBackend for
+ * the prior-work scanning daemon — services slots through one shared
+ * ServiceCore over the sharded SyscallArea. The façade only selects
+ * the active backend and aggregates stats; it owns no scan loop.
  */
 
 #ifndef GENESYS_CORE_HOST_HH
@@ -22,8 +16,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
+#include "core/backend/interrupt_backend.hh"
+#include "core/backend/polling_backend.hh"
+#include "core/backend/service_core.hh"
 #include "core/params.hh"
 #include "core/slot.hh"
 #include "gpu/gpu.hh"
@@ -53,81 +49,86 @@ class GenesysHost
         return params_.coalesceMaxBatch;
     }
 
-    /** GPU interrupt entry point (registered as the device sink). */
-    void onGpuInterrupt(std::uint32_t hw_wave_slot);
+    /** GPU interrupt entry point (registered as the device sink),
+     *  routed to the active ServiceBackend. */
+    void onGpuInterrupt(std::uint32_t cu, std::uint32_t hw_wave_slot);
 
     /**
      * Block until every in-flight GPU system call has completed — the
      * paper's answer to the asynchronous-completion hazard of
      * Section IX (a non-blocking syscall may outlive the GPU kernel
-     * and even the launching process).
+     * and even the launching process). After stopDaemon(), this also
+     * joins the daemon scan loops, so no scan coroutine outlives the
+     * drain.
      */
     sim::Task<> drain();
 
     /**
-     * Start the prior-work user-mode service daemon instead of the
-     * interrupt path: a pinned thread that scans all slots every
-     * @p scan_interval. Call stopDaemon() to end the simulation.
+     * Switch the active backend to the prior-work user-mode service
+     * daemon: one pinned scanning thread per syscall-area shard, each
+     * sweeping its slot range every @p scan_interval.
      */
     void startPollingDaemon(Tick scan_interval);
-    void stopDaemon() { daemonRunning_ = false; }
-    bool daemonMode() const { return daemonRunning_; }
-
-    // --- stats -------------------------------------------------------
-    std::uint64_t interrupts() const { return interrupts_; }
-    std::uint64_t batches() const { return batches_; }
-    std::uint64_t processedSyscalls() const { return processed_; }
-    const stats::Distribution &batchSizes() const { return batchSizes_; }
-    std::uint64_t inFlight() const { return inFlight_; }
-    /** Fault recoveries the host performed for non-blocking slots. */
-    std::uint64_t hostRestarts() const { return hostRestarts_; }
-
-    /** Attach the happens-before sanitizer (may be null). */
-    void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }
-
-  private:
-    void flushPendingBatch();
-    sim::Task<> interruptArrival(std::uint32_t hw_wave_slot);
-    /** @p worker is the index of the OS worker running the batch. */
-    sim::Task<> serviceBatch(std::vector<std::uint32_t> waves,
-                             std::uint32_t worker);
-    /** Process every ready slot of @p hw_wave_slot; @return count.
-     *  @p servicer is the gsan thread of the servicing CPU context. */
-    sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot,
-                                    std::uint32_t servicer);
-    sim::Task<> daemonLoop(Tick scan_interval);
 
     /**
-     * Execute @p slot's call through the fault-injectable dispatch
-     * path. Blocking slots get the raw (possibly faulted) result —
-     * the GPU requester owns recovery. For non-blocking slots nobody
-     * reads the result, so the host itself restarts transient faults
-     * and continues short transfers; otherwise an injected EINTR
-     * would silently swallow a fire-and-forget call (e.g. a dropped
-     * rt_sigqueueinfo in the signal-search workload).
+     * Ask the daemon backend to stop and reroute doorbells to the
+     * interrupt backend. The stop drains: every daemon sweeps its
+     * shard once more (requests racing the stop are serviced, never
+     * stranded) and exits; drain() — or the next sim quiescence —
+     * joins the loops. daemonScansLive() reports loops not yet exited.
      */
-    sim::Task<std::int64_t> executeSlotCall(const SyscallSlot &slot);
+    void stopDaemon();
+    bool daemonMode() const
+    {
+        return daemon_ != nullptr && daemon_->running();
+    }
+    /** Daemon scan loops that have not exited yet. */
+    std::uint32_t daemonScansLive() const
+    {
+        return daemon_ != nullptr ? daemon_->liveLoops() : 0;
+    }
 
+    // --- stats -------------------------------------------------------
+    std::uint64_t interrupts() const { return interrupt_->interrupts(); }
+    /** Doorbells routed to @p shard's service path. */
+    std::uint64_t interruptsOnShard(std::uint32_t shard) const
+    {
+        return interrupt_->interruptsOnShard(shard);
+    }
+    /** Interrupt batches dispatched plus daemon sweeps performed. */
+    std::uint64_t batches() const
+    {
+        return interrupt_->batches() +
+               (daemon_ != nullptr ? daemon_->sweeps() : 0);
+    }
+    std::uint64_t processedSyscalls() const { return core_->processed(); }
+    const stats::Distribution &batchSizes() const
+    {
+        return interrupt_->batchSizes();
+    }
+    std::uint64_t inFlight() const { return interrupt_->inFlight(); }
+    /** Fault recoveries the host performed for non-blocking slots. */
+    std::uint64_t hostRestarts() const { return core_->hostRestarts(); }
+
+    /** The shared slot scanner/executor (backend plumbing). */
+    ServiceCore &serviceCore() { return *core_; }
+    /** The currently active service backend. */
+    ServiceBackend &activeBackend() { return *active_; }
+
+    /** Attach the happens-before sanitizer (may be null). */
+    void setSanitizer(gsan::Sanitizer *gsan)
+    {
+        core_->setSanitizer(gsan);
+    }
+
+  private:
     osk::Kernel &kernel_;
-    gpu::GpuDevice &gpu_;
-    SyscallArea &area_;
-    osk::Process &proc_;
     GenesysParams params_;
-    gsan::Sanitizer *gsan_ = nullptr;
 
-    std::vector<std::uint32_t> pendingBatch_;
-    sim::EventId batchTimer_ = 0;
-    bool batchTimerArmed_ = false;
-
-    bool daemonRunning_ = false;
-
-    std::uint64_t interrupts_ = 0;
-    std::uint64_t batches_ = 0;
-    std::uint64_t processed_ = 0;
-    std::uint64_t inFlight_ = 0;
-    std::uint64_t hostRestarts_ = 0;
-    stats::Distribution batchSizes_{"genesys.batch_size"};
-    std::unique_ptr<sim::WaitQueue> drainWait_;
+    std::unique_ptr<ServiceCore> core_;
+    std::unique_ptr<InterruptBackend> interrupt_;
+    std::unique_ptr<PollingDaemonBackend> daemon_;
+    ServiceBackend *active_ = nullptr;
 };
 
 } // namespace genesys::core

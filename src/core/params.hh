@@ -14,6 +14,19 @@
 namespace genesys::core
 {
 
+/**
+ * How a shard's service work is steered onto workqueue workers
+ * (service-path architecture, DESIGN.md §10).
+ */
+enum class SteeringPolicy : std::uint8_t
+{
+    /// Shard s prefers worker s % activeWorkers: a shard's batches
+    /// serialize on "its" worker, giving per-shard cache affinity.
+    ShardAffinity,
+    /// Batches rotate over the active workers regardless of shard.
+    RoundRobin,
+};
+
 struct GenesysParams
 {
     /// Virtual base of the preallocated shared syscall area. Only used
@@ -22,6 +35,15 @@ struct GenesysParams
     /// One slot per active hardware work-item, 64 bytes each
     /// ("our system uses 64 bytes per slot, totaling 1.25 MBs").
     std::uint32_t slotBytes = 64;
+
+    /// Syscall-area shards. Each shard owns the slots of a contiguous
+    /// block of CUs plus its own doorbell line and stats; the GPU
+    /// routes s_sendmsg interrupts by originating CU. Must divide
+    /// numCus. 1 (the paper's single area) is timing-identical to the
+    /// pre-shard implementation.
+    std::uint32_t areaShards = 1;
+    /// Shard -> workqueue-worker steering policy.
+    SteeringPolicy steering = SteeringPolicy::ShardAffinity;
 
     /// GPU-side polling cadence while waiting for slot completion.
     std::uint64_t pollIntervalCycles = 200;

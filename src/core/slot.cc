@@ -153,8 +153,54 @@ SyscallSlot::racyPeekResult() const
 SyscallArea::SyscallArea(const gpu::GpuConfig &gpu_config,
                          const GenesysParams &params)
     : params_(params), wavefrontSize_(gpu_config.wavefrontSize),
+      maxWavesPerCu_(gpu_config.maxWavesPerCu),
+      numCus_(gpu_config.numCus),
+      shardCount_(params.areaShards == 0 ? 1 : params.areaShards),
       slots_(gpu_config.activeWorkItemSlots())
-{}
+{
+    GENESYS_ASSERT(shardCount_ <= numCus_,
+                   "areaShards %u exceeds %u CUs", shardCount_,
+                   numCus_);
+    GENESYS_ASSERT(numCus_ % shardCount_ == 0,
+                   "areaShards %u must divide %u CUs", shardCount_,
+                   numCus_);
+    cusPerShard_ = numCus_ / shardCount_;
+    issued_.assign(shardCount_, 0);
+    processed_.assign(shardCount_, 0);
+}
+
+std::uint32_t
+SyscallArea::shardFirstSlot(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return shard * shardSlotCount();
+}
+
+std::uint32_t
+SyscallArea::shardSlotCount() const
+{
+    return cusPerShard_ * maxWavesPerCu_ * wavefrontSize_;
+}
+
+mem::Addr
+SyscallArea::doorbellAddr(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return params_.syscallAreaBase + areaBytes() +
+           std::uint64_t(shard) * params_.slotBytes;
+}
+
+bool
+SyscallArea::quiescent(std::uint32_t shard) const
+{
+    const std::uint32_t first = shardFirstSlot(shard);
+    const std::uint32_t count = shardSlotCount();
+    for (std::uint32_t i = first; i < first + count; ++i) {
+        if (slots_[i].state() != SlotState::Free)
+            return false;
+    }
+    return true;
+}
 
 SyscallSlot &
 SyscallArea::slot(std::uint32_t hw_item_slot)

@@ -157,6 +157,12 @@ class SyscallSlot
 /**
  * The preallocated shared-memory syscall area: one slot per active
  * hardware work-item ("1.25 MBs" on the paper's platform).
+ *
+ * The area is divided into params.areaShards shards, each owning the
+ * slots of a contiguous block of CUs plus a private doorbell cache
+ * line and per-shard issue/service counters. Shard geometry is pure
+ * address arithmetic — slot indices are unchanged — so areaShards=1
+ * degenerates to the paper's single flat area.
  */
 class SyscallArea
 {
@@ -185,9 +191,55 @@ class SyscallArea
     }
     std::uint32_t wavefrontSize() const { return wavefrontSize_; }
 
+    // --- shard geometry --------------------------------------------
+    std::uint32_t shardCount() const { return shardCount_; }
+    std::uint32_t cusPerShard() const { return cusPerShard_; }
+
+    std::uint32_t
+    shardOfCu(std::uint32_t cu) const
+    {
+        return cu / cusPerShard_;
+    }
+    /** Shard of a hardware wave slot (hw ids are per-CU blocks). */
+    std::uint32_t
+    shardOfWave(std::uint32_t hw_wave_slot) const
+    {
+        return shardOfCu(hw_wave_slot / maxWavesPerCu_);
+    }
+    std::uint32_t
+    shardOfSlot(std::uint32_t hw_item_slot) const
+    {
+        return shardOfWave(hw_item_slot / wavefrontSize_);
+    }
+
+    /** Item slots owned by @p shard: [first, first + count). */
+    std::uint32_t shardFirstSlot(std::uint32_t shard) const;
+    std::uint32_t shardSlotCount() const;
+
+    /**
+     * Modeled address of the shard's doorbell cache line (one line per
+     * shard, laid out after the slot array so doorbells never false-
+     * share with slots or each other).
+     */
+    mem::Addr doorbellAddr(std::uint32_t shard) const;
+
     /** True when every slot is Free (no request in any pipeline
      *  stage) — the drain()/teardown postcondition of Section IX. */
     bool quiescent() const;
+    /** Per-shard quiescence: every slot of @p shard is Free. */
+    bool quiescent(std::uint32_t shard) const;
+
+    // --- per-shard stats -------------------------------------------
+    void noteIssued(std::uint32_t shard) { ++issued_[shard]; }
+    void noteProcessed(std::uint32_t shard) { ++processed_[shard]; }
+    std::uint64_t issuedOnShard(std::uint32_t shard) const
+    {
+        return issued_[shard];
+    }
+    std::uint64_t processedOnShard(std::uint32_t shard) const
+    {
+        return processed_[shard];
+    }
 
     /** Attach the sanitizer to every slot (id = slot index). */
     void attachSanitizer(gsan::Sanitizer *gsan);
@@ -195,7 +247,13 @@ class SyscallArea
   private:
     GenesysParams params_;
     std::uint32_t wavefrontSize_;
+    std::uint32_t maxWavesPerCu_;
+    std::uint32_t numCus_;
+    std::uint32_t shardCount_;
+    std::uint32_t cusPerShard_;
     std::vector<SyscallSlot> slots_;
+    std::vector<std::uint64_t> issued_;
+    std::vector<std::uint64_t> processed_;
 };
 
 } // namespace genesys::core

@@ -36,6 +36,7 @@ System::System(const SystemConfig &config)
     host_->setSanitizer(gsan_.get());
     client_->setSanitizer(gsan_.get());
     installGsanSysfs();
+    installShardSysfs();
 
     // GENESYS_GSAN=1 turns the sanitizer on for a whole test/bench
     // run without touching code (the gsan-enabled CI job uses this).
@@ -88,6 +89,61 @@ System::installGsanSysfs()
             [g] { return g->countOf(gsan::ReportKind::LostWakeup); });
 }
 
+void
+System::installShardSysfs()
+{
+    // The service-path knob surface (DESIGN.md §10): shard geometry,
+    // per-shard counters, and the workqueue worker-count knob, all
+    // beside the coalescing files GenesysHost installs.
+    auto ro = [this](const std::string &path,
+                     std::function<std::uint64_t()> read) {
+        kernel_->vfs().install(
+            path, std::make_shared<osk::SysfsFile>(
+                      std::move(read),
+                      [](std::uint64_t) { return false; }));
+    };
+    SyscallArea *area = area_.get();
+    GenesysHost *host = host_.get();
+    ro("/sys/genesys/shards/count",
+       [area] { return std::uint64_t(area->shardCount()); });
+    for (std::uint32_t s = 0; s < area_->shardCount(); ++s) {
+        const std::string dir =
+            logging::format("/sys/genesys/shards/%u/", s);
+        ro(dir + "issued",
+           [area, s] { return area->issuedOnShard(s); });
+        ro(dir + "processed",
+           [area, s] { return area->processedOnShard(s); });
+        ro(dir + "interrupts",
+           [host, s] { return host->interruptsOnShard(s); });
+    }
+
+    osk::WorkQueue *wq = &kernel_->workqueue();
+    kernel_->vfs().install(
+        "/sys/genesys/workqueue/max_workers",
+        std::make_shared<osk::SysfsFile>(
+            [wq] { return std::uint64_t(wq->maxWorkers()); },
+            [wq](std::uint64_t v) {
+                if (v == 0 || v > wq->workerCap())
+                    return false;
+                wq->setMaxWorkers(static_cast<std::uint32_t>(v));
+                return true;
+            }));
+    kernel_->vfs().install(
+        "/sys/genesys/workqueue/queue_bound",
+        std::make_shared<osk::SysfsFile>(
+            [wq] { return std::uint64_t(wq->queueBound()); },
+            [wq](std::uint64_t v) {
+                if (v == 0 || v > UINT32_MAX)
+                    return false;
+                wq->setQueueBound(static_cast<std::uint32_t>(v));
+                return true;
+            }));
+    ro("/sys/genesys/workqueue/steals",
+       [wq] { return wq->steals(); });
+    ro("/sys/genesys/workqueue/spills",
+       [wq] { return wq->spills(); });
+}
+
 sim::Task<>
 System::launchDrainTask(gpu::KernelLaunch launch)
 {
@@ -124,6 +180,8 @@ System::statsReport() const
          static_cast<double>(client_->shortTransfers()));
     line("genesys.host_restarts",
          static_cast<double>(host_->hostRestarts()));
+    line("genesys.area_shards",
+         static_cast<double>(area_->shardCount()));
     line("osk.faults_injected",
          static_cast<double>(kernel_->faults().injected()));
     line("gsan.enabled", gsan_->enabled() ? 1.0 : 0.0);
@@ -146,6 +204,12 @@ System::statsReport() const
          kernel_->cpus().utilization(0, sim_->now()));
     line("osk.workqueue_tasks",
          static_cast<double>(kernel_->workqueue().executedTasks()));
+    line("osk.workqueue_max_workers",
+         static_cast<double>(kernel_->workqueue().maxWorkers()));
+    line("osk.workqueue_steals",
+         static_cast<double>(kernel_->workqueue().steals()));
+    line("osk.workqueue_spills",
+         static_cast<double>(kernel_->workqueue().spills()));
     line("sim.events_executed",
          static_cast<double>(sim_->events().executedEvents()));
     line("sim.final_tick", static_cast<double>(sim_->now()));

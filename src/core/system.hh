@@ -97,6 +97,7 @@ class System
   private:
     sim::Task<> launchDrainTask(gpu::KernelLaunch launch);
     void installGsanSysfs();
+    void installShardSysfs();
 
     SystemConfig config_;
     std::unique_ptr<sim::Sim> sim_;

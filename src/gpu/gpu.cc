@@ -282,8 +282,11 @@ GpuDevice::sendInterrupt(std::uint32_t hw_wave_slot)
 {
     if (gsan_ != nullptr && gsan_->enabled())
         gsan_->interruptSend(hw_wave_slot);
+    // Hardware wave ids are allocated in per-CU blocks, so the
+    // message's routing tag is recoverable from the slot id.
+    const std::uint32_t cu = hw_wave_slot / config_.maxWavesPerCu;
     if (interruptSink_)
-        interruptSink_(hw_wave_slot);
+        interruptSink_(cu, hw_wave_slot);
     else
         warn("GPU interrupt with no CPU sink (slot %u)", hw_wave_slot);
 }

@@ -213,10 +213,15 @@ class GpuDevice
 
     /**
      * Register the CPU-side interrupt sink. The wavefront's scalar
-     * s_sendmsg ends up here, carrying the hardware wave slot id.
+     * s_sendmsg ends up here, carrying the originating compute unit
+     * (the hardware routes the message per CU, which is what lets the
+     * host steer it to a per-shard service path) and the hardware
+     * wave slot id.
      */
+    using InterruptSink =
+        std::function<void(std::uint32_t cu, std::uint32_t hw_wave_slot)>;
     void
-    setInterruptSink(std::function<void(std::uint32_t)> sink)
+    setInterruptSink(InterruptSink sink)
     {
         interruptSink_ = std::move(sink);
     }
@@ -272,7 +277,7 @@ class GpuDevice
     std::vector<CuState> cus_;
     std::deque<PendingWg> pendingWgs_;
     gsan::Sanitizer *gsan_ = nullptr;
-    std::function<void(std::uint32_t)> interruptSink_;
+    InterruptSink interruptSink_;
     /// hw wave slot -> live wavefront context (for halt/resume).
     std::vector<WavefrontCtx *> waveBySlot_;
 

@@ -74,8 +74,13 @@ class CpuCluster
 };
 
 /**
- * Deferred-work queue: enqueue() hands a task factory to one of
- * @p maxWorkers worker loops; each execution occupies a CPU core.
+ * Deferred-work queue with per-worker dispatch: every worker owns a
+ * bounded task queue; enqueueOn() steers work to a preferred worker
+ * (callers encode their steering policy — e.g. the GENESYS shard ->
+ * worker affinity — by picking the target), and idle workers steal
+ * from the lowest-indexed backlogged queue so no queue strands work.
+ * The active worker count is a runtime knob (setMaxWorkers), taking
+ * effect at the next dispatch; each execution occupies a CPU core.
  */
 class WorkQueue
 {
@@ -92,11 +97,52 @@ class WorkQueue
     WorkQueue(sim::Sim &sim, CpuCluster &cpus, const OskParams &params,
               std::uint32_t max_workers);
 
-    /** Queue work; returns after the enqueue cost (bookkeeping only). */
+    /**
+     * Queue work on worker 0's queue (the "global" queue; with steal
+     * this behaves exactly like the classic single-deque workqueue).
+     * Returns after the enqueue cost (bookkeeping only).
+     */
     void enqueue(TaskFactory factory);
 
+    /**
+     * Queue work preferring @p worker's queue (clamped into the active
+     * set). If that queue is at queueBound(), the task spills to the
+     * least-loaded active queue instead.
+     */
+    void enqueueOn(std::uint32_t worker, TaskFactory factory);
+
+    /**
+     * Shrink or re-grow the active worker pool at runtime, in
+     * [1, workerCap()]. Shrinking retires surplus worker loops at
+     * their next wakeup (in-flight tasks finish); growing respawns
+     * them. Takes effect on the next dispatch.
+     */
+    void setMaxWorkers(std::uint32_t n);
+    std::uint32_t maxWorkers() const { return activeWorkers_; }
+    /** Construction-time bound on the worker pool. */
+    std::uint32_t workerCap() const
+    {
+        return static_cast<std::uint32_t>(queues_.size());
+    }
+
+    /** Per-worker queue capacity before enqueueOn() spills. */
+    void setQueueBound(std::uint32_t n);
+    std::uint32_t queueBound() const { return queueBound_; }
+
     std::uint64_t executedTasks() const { return executed_; }
-    std::size_t queuedNow() const { return queue_.size(); }
+    std::uint64_t executedBy(std::uint32_t worker) const
+    {
+        return executedBy_[worker];
+    }
+    std::size_t queuedNow() const { return totalQueued_; }
+    std::size_t queuedOn(std::uint32_t worker) const
+    {
+        return queues_[worker].size();
+    }
+    /** Tasks an idle worker took from another worker's queue. */
+    std::uint64_t steals() const { return steals_; }
+    /** Tasks redirected off a full preferred queue at enqueue. */
+    std::uint64_t spills() const { return spills_; }
 
   private:
     sim::Task<> workerLoop(std::uint32_t worker);
@@ -104,9 +150,16 @@ class WorkQueue
     sim::Sim &sim_;
     CpuCluster &cpus_;
     const OskParams &params_;
-    std::deque<TaskFactory> queue_;
+    std::vector<std::deque<TaskFactory>> queues_;
+    std::vector<bool> loopLive_;
+    std::uint32_t activeWorkers_;
+    std::uint32_t queueBound_ = 4096;
+    std::size_t totalQueued_ = 0;
     std::unique_ptr<sim::WaitQueue> wait_;
     std::uint64_t executed_ = 0;
+    std::vector<std::uint64_t> executedBy_;
+    std::uint64_t steals_ = 0;
+    std::uint64_t spills_ = 0;
 };
 
 } // namespace genesys::osk

@@ -628,5 +628,45 @@ TEST(GenesysTiming, RelaxedOrderingFreesNonLeaderWavesEarly)
     EXPECT_LT(relaxed.earliestWaveDone, relaxed.leaderCallDone);
 }
 
+TEST(GenesysEndToEnd, MultiShardAreaWritesAllDataAndDrainsPerShard)
+{
+    // The smallConfig pipeline again, but with the syscall area split
+    // into one shard per CU: results are identical (the file sees all
+    // the bytes) and the drain leaves every shard quiescent.
+    SystemConfig cfg = smallConfig();
+    cfg.genesys.areaShards = 2; // one per CU
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/ms");
+    gpu::KernelLaunch k;
+    k.workItems = 8 * 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::WorkGroup, Ordering::Relaxed,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/ms", 1);
+        co_await sys.gpuSys().pwrite(ctx, i, static_cast<int>(fd),
+                                     "y", 1, ctx.workgroupId());
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+
+    auto *f = static_cast<osk::RegularFile *>(
+        sys.kernel().vfs().resolve("/ms"));
+    EXPECT_EQ(f->data().size(), 8u);
+    for (std::uint8_t b : f->data())
+        EXPECT_EQ(b, 'y');
+    // 8 groups x (open + pwrite) processed, split across both shards.
+    EXPECT_EQ(sys.host().processedSyscalls(), 16u);
+    EXPECT_EQ(sys.syscallArea().processedOnShard(0) +
+                  sys.syscallArea().processedOnShard(1),
+              16u);
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        EXPECT_GT(sys.syscallArea().processedOnShard(s), 0u)
+            << "shard " << s;
+        EXPECT_TRUE(sys.syscallArea().quiescent(s)) << "shard " << s;
+    }
+    EXPECT_EQ(sys.host().inFlight(), 0u);
+}
+
 } // namespace
 } // namespace genesys::core

@@ -239,8 +239,11 @@ TEST(GpuDevice, InterruptReachesSink)
     sim::Sim s;
     GpuDevice gpu(s, tinyGpu());
     std::vector<std::uint32_t> seen;
-    gpu.setInterruptSink([&seen](std::uint32_t id) {
+    std::vector<std::uint32_t> cus;
+    gpu.setInterruptSink([&seen, &cus](std::uint32_t cu,
+                                       std::uint32_t id) {
         seen.push_back(id);
+        cus.push_back(cu);
     });
     KernelLaunch k;
     k.workItems = 128;
@@ -252,6 +255,10 @@ TEST(GpuDevice, InterruptReachesSink)
     s.spawn(gpu.launch(std::move(k)));
     s.run();
     EXPECT_EQ(seen.size(), 2u);
+    // The message's routing tag names the originating CU.
+    ASSERT_EQ(cus.size(), seen.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(cus[i], seen[i] / tinyGpu().maxWavesPerCu);
 }
 
 TEST(GpuDevice, SequentialKernelsReuseResources)

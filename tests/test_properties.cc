@@ -10,7 +10,9 @@
 #include <map>
 #include <vector>
 
+#include "core/params.hh"
 #include "core/slot.hh"
+#include "gpu/gpu.hh"
 #include "mem/cache_model.hh"
 #include "osk/mm.hh"
 #include "osk/pipe.hh"
@@ -313,6 +315,111 @@ TEST_P(Seeded, SlotFsmCheckerAcceptsLegalAndPanicsOnIllegalEdges)
     // edges — no illegal attempt slipped through.
     EXPECT_EQ(slot.transitions(), legal);
     EXPECT_GT(legal, 0u);
+}
+
+TEST_P(Seeded, ShardedAreaQuiescenceMatchesPerSlotModel)
+{
+    // Random-walk a multi-shard SyscallArea through real slot entry
+    // points against a per-slot model, checking after every step that
+    // per-shard quiescence agrees with the model and that the shard
+    // maps place each slot where the geometry says it lives.
+    Random rng(GetParam() * 131 + 5);
+    gpu::GpuConfig gcfg;
+    gcfg.numCus = 4;
+    gcfg.maxWavesPerCu = 2;
+    gcfg.wavefrontSize = 4;
+    core::GenesysParams params;
+    params.areaShards = 2;
+    core::SyscallArea area(gcfg, params);
+    const auto n = static_cast<std::uint32_t>(area.slotCount());
+    ASSERT_EQ(n, 4u * 2 * 4);
+    ASSERT_EQ(area.shardSlotCount() * 2, n);
+
+    std::vector<core::SlotState> model(n, core::SlotState::Free);
+    std::vector<bool> blocking(n, true);
+    // Slot index -> owning shard is static geometry: item slots of the
+    // first two CUs' waves sit in shard 0, the rest in shard 1.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(area.shardOfSlot(i),
+                  i < area.shardSlotCount() ? 0u : 1u);
+    }
+
+    for (int step = 0; step < 4000; ++step) {
+        const auto i = static_cast<std::uint32_t>(rng.below(n));
+        auto &slot = area.slot(i);
+        switch (model[i]) {
+          case core::SlotState::Free:
+            if (rng.chance(0.7)) {
+                EXPECT_TRUE(slot.claim());
+                model[i] = core::SlotState::Populating;
+            }
+            break;
+          case core::SlotState::Populating: {
+            const bool b = rng.chance(0.5);
+            const auto wave = i / gcfg.wavefrontSize;
+            slot.publish(osk::sysno::getpid, {}, b,
+                         core::WaitMode::Polling, wave);
+            blocking[i] = b;
+            model[i] = core::SlotState::Ready;
+            // The slot remembers a wave of its own shard.
+            EXPECT_EQ(area.shardOfWave(slot.hwWaveSlot()),
+                      area.shardOfSlot(i));
+            break;
+          }
+          case core::SlotState::Ready:
+            EXPECT_TRUE(slot.beginProcessing());
+            model[i] = core::SlotState::Processing;
+            break;
+          case core::SlotState::Processing:
+            slot.complete(0);
+            model[i] = blocking[i] ? core::SlotState::Finished
+                                   : core::SlotState::Free;
+            break;
+          case core::SlotState::Finished:
+            (void)slot.consume();
+            model[i] = core::SlotState::Free;
+            break;
+        }
+        for (std::uint32_t s = 0; s < 2; ++s) {
+            bool model_quiescent = true;
+            const auto first = area.shardFirstSlot(s);
+            for (std::uint32_t k = 0; k < area.shardSlotCount(); ++k) {
+                model_quiescent &=
+                    model[first + k] == core::SlotState::Free;
+            }
+            ASSERT_EQ(area.quiescent(s), model_quiescent)
+                << "shard " << s << " at step " << step;
+        }
+        ASSERT_EQ(area.quiescent(),
+                  area.quiescent(0) && area.quiescent(1));
+    }
+
+    // Drain everything; both shards must come back to quiescent.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto &slot = area.slot(i);
+        if (model[i] == core::SlotState::Populating) {
+            slot.publish(osk::sysno::getpid, {}, true,
+                         core::WaitMode::Polling, 0);
+            blocking[i] = true;
+            model[i] = core::SlotState::Ready;
+        }
+        if (model[i] == core::SlotState::Ready) {
+            slot.beginProcessing();
+            model[i] = core::SlotState::Processing;
+        }
+        if (model[i] == core::SlotState::Processing) {
+            slot.complete(0);
+            model[i] = blocking[i] ? core::SlotState::Finished
+                                   : core::SlotState::Free;
+        }
+        if (model[i] == core::SlotState::Finished) {
+            (void)slot.consume();
+            model[i] = core::SlotState::Free;
+        }
+    }
+    EXPECT_TRUE(area.quiescent(0));
+    EXPECT_TRUE(area.quiescent(1));
+    EXPECT_TRUE(area.quiescent());
 }
 
 // --------------------------------------------------------- cache property

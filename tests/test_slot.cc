@@ -204,5 +204,123 @@ TEST(SyscallArea, OutOfRangeSlotPanics)
                  PanicError);
 }
 
+// --------------------------------------------------- shard geometry
+
+TEST(SyscallAreaShards, DefaultSingleShardOwnsEverything)
+{
+    gpu::GpuConfig gpu_cfg; // 8 CUs x 40 waves x 64 lanes
+    GenesysParams params;
+    SyscallArea area(gpu_cfg, params);
+    EXPECT_EQ(area.shardCount(), 1u);
+    EXPECT_EQ(area.cusPerShard(), 8u);
+    EXPECT_EQ(area.shardFirstSlot(0), 0u);
+    EXPECT_EQ(area.shardSlotCount(), area.slotCount());
+    EXPECT_EQ(area.shardOfSlot(
+                  static_cast<std::uint32_t>(area.slotCount()) - 1),
+              0u);
+}
+
+TEST(SyscallAreaShards, GeometryPartitionsSlotsByCuBlocks)
+{
+    gpu::GpuConfig gpu_cfg; // 8 CUs
+    GenesysParams params;
+    params.areaShards = 4;
+    SyscallArea area(gpu_cfg, params);
+    EXPECT_EQ(area.shardCount(), 4u);
+    EXPECT_EQ(area.cusPerShard(), 2u);
+    EXPECT_EQ(area.shardSlotCount() * 4, area.slotCount());
+    for (std::uint32_t cu = 0; cu < 8; ++cu)
+        EXPECT_EQ(area.shardOfCu(cu), cu / 2) << "cu " << cu;
+    // Wave and item-slot mappings agree with the CU mapping.
+    const std::uint32_t waves = 40;
+    EXPECT_EQ(area.shardOfWave(0), 0u);
+    EXPECT_EQ(area.shardOfWave(2 * waves), 1u);
+    EXPECT_EQ(area.shardOfWave(7 * waves + waves - 1), 3u);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto first = area.shardFirstSlot(s);
+        EXPECT_EQ(area.shardOfSlot(first), s);
+        EXPECT_EQ(area.shardOfSlot(first + area.shardSlotCount() - 1),
+                  s);
+    }
+    // Contiguous, non-overlapping ranges.
+    EXPECT_EQ(area.shardFirstSlot(1),
+              area.shardFirstSlot(0) + area.shardSlotCount());
+    EXPECT_THROW(area.shardFirstSlot(4), PanicError);
+}
+
+TEST(SyscallAreaShards, DoorbellLinesLiveBeyondSlotsAndNeverShare)
+{
+    gpu::GpuConfig gpu_cfg;
+    GenesysParams params;
+    params.areaShards = 4;
+    SyscallArea area(gpu_cfg, params);
+    const auto last_slot_line =
+        area.slotAddr(static_cast<std::uint32_t>(area.slotCount()) - 1) /
+        64;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto line = area.doorbellAddr(s) / 64;
+        EXPECT_GT(line, last_slot_line) << "shard " << s;
+        for (std::uint32_t t = s + 1; t < 4; ++t)
+            EXPECT_NE(line, area.doorbellAddr(t) / 64)
+                << s << " vs " << t;
+    }
+}
+
+TEST(SyscallAreaShards, NonDividingShardCountPanics)
+{
+    gpu::GpuConfig gpu_cfg; // 8 CUs
+    GenesysParams params;
+    params.areaShards = 3; // does not divide 8
+    EXPECT_THROW(SyscallArea(gpu_cfg, params), PanicError);
+    params.areaShards = 16; // exceeds the CU count
+    EXPECT_THROW(SyscallArea(gpu_cfg, params), PanicError);
+}
+
+TEST(SyscallAreaShards, PerShardQuiescenceTracksOccupancy)
+{
+    gpu::GpuConfig gpu_cfg;
+    gpu_cfg.numCus = 4;
+    gpu_cfg.maxWavesPerCu = 2;
+    GenesysParams params;
+    params.areaShards = 2;
+    SyscallArea area(gpu_cfg, params);
+    EXPECT_TRUE(area.quiescent());
+    EXPECT_TRUE(area.quiescent(0));
+    EXPECT_TRUE(area.quiescent(1));
+
+    // Occupy one slot in shard 1 only.
+    const auto s1 = area.shardFirstSlot(1);
+    ASSERT_TRUE(area.slot(s1).claim());
+    EXPECT_TRUE(area.quiescent(0));
+    EXPECT_FALSE(area.quiescent(1));
+    EXPECT_FALSE(area.quiescent());
+
+    area.slot(s1).publish(osk::sysno::write, someArgs(), true,
+                          WaitMode::Polling, 0);
+    area.slot(s1).beginProcessing();
+    area.slot(s1).complete(0);
+    EXPECT_FALSE(area.quiescent(1)); // finished, not yet consumed
+    area.slot(s1).consume();
+    EXPECT_TRUE(area.quiescent(1));
+    EXPECT_TRUE(area.quiescent());
+}
+
+TEST(SyscallAreaShards, PerShardCountersAreIndependent)
+{
+    gpu::GpuConfig gpu_cfg;
+    gpu_cfg.numCus = 4;
+    GenesysParams params;
+    params.areaShards = 2;
+    SyscallArea area(gpu_cfg, params);
+    area.noteIssued(0);
+    area.noteIssued(0);
+    area.noteIssued(1);
+    area.noteProcessed(1);
+    EXPECT_EQ(area.issuedOnShard(0), 2u);
+    EXPECT_EQ(area.issuedOnShard(1), 1u);
+    EXPECT_EQ(area.processedOnShard(0), 0u);
+    EXPECT_EQ(area.processedOnShard(1), 1u);
+}
+
 } // namespace
 } // namespace genesys::core

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Timing-parity regression tests for the service path.
+ *
+ * Each scenario drives the full GPU->slot->service->wake pipeline in a
+ * shape borrowed from the fig07-fig16 benches (granularity sweep,
+ * ordering/blocking/wait-mode matrix, coalescing, residency pressure,
+ * polling daemon, grep) and asserts the *exact* simulated completion
+ * tick against a golden value captured from the pre-refactor host.
+ *
+ * The golden numbers pin down the contract of the backend refactor:
+ * with the default configuration (areaShards=1, default workers,
+ * shard-affinity steering) the layered ServiceBackend/SlotScanner/
+ * sharded-WorkQueue architecture must be bit-identical in modeled time
+ * to the monolithic GenesysHost it replaced. Any intentional timing
+ * change must update these constants in the same commit and say why.
+ *
+ * Set GENESYS_PARITY_CAPTURE=1 to print actual values instead of
+ * asserting (used to regenerate the table).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/system.hh"
+#include "workloads/grep.hh"
+
+namespace genesys::core
+{
+namespace
+{
+
+bool
+captureMode()
+{
+    const char *env = std::getenv("GENESYS_PARITY_CAPTURE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** EXPECT the golden tick, or print the actual in capture mode. */
+void
+checkTick(const char *name, Tick actual, Tick golden)
+{
+    if (captureMode()) {
+        std::printf("PARITY %s = %llu\n", name,
+                    static_cast<unsigned long long>(actual));
+        return;
+    }
+    EXPECT_EQ(actual, golden) << name;
+}
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.maxWavesPerCu = 8;
+    cfg.gpu.maxWorkGroupsPerCu = 4;
+    cfg.gpu.kernelLaunchLatency = ticks::us(5);
+    return cfg;
+}
+
+Invocation
+inv(Granularity g, Ordering o, Blocking b,
+    WaitMode w = WaitMode::Polling)
+{
+    Invocation i;
+    i.granularity = g;
+    i.ordering = o;
+    i.blocking = b;
+    i.waitMode = w;
+    return i;
+}
+
+/** One work-group: open + pwrite + close, returns the final tick. */
+Tick
+runBasicWorkGroup(const SystemConfig &cfg, Invocation i)
+{
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/p");
+    static const char payload[] = "parity-check-abcdef";
+    gpu::KernelLaunch k;
+    k.workItems = 256; // one group, 4 waves: barriers span waves
+    k.wgSize = 256;
+    k.program = [&sys, i](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto open_inv = i;
+        open_inv.blocking = Blocking::Blocking; // fd consumed below
+        const auto fd =
+            co_await sys.gpuSys().open(ctx, open_inv, "/p", 1);
+        co_await sys.gpuSys().pwrite(ctx, i, static_cast<int>(fd),
+                                     payload, 16, 0);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    return sys.run();
+}
+
+TEST(TimingParity, OrderingBlockingWaitMatrix)
+{
+    // The fig08 axes: ordering x blocking x wait mode.
+    const SystemConfig cfg = smallConfig();
+    struct Case
+    {
+        const char *name;
+        Ordering o;
+        Blocking b;
+        WaitMode w;
+        Tick golden;
+    };
+    const Case cases[] = {
+        {"strong_blocking_poll", Ordering::Strong, Blocking::Blocking,
+         WaitMode::Polling, 54515},
+        {"strong_blocking_halt", Ordering::Strong, Blocking::Blocking,
+         WaitMode::HaltResume, 63897},
+        {"strong_nonblocking_poll", Ordering::Strong,
+         Blocking::NonBlocking, WaitMode::Polling, 54307},
+        {"relaxed_blocking_poll", Ordering::Relaxed, Blocking::Blocking,
+         WaitMode::Polling, 54515},
+        {"relaxed_blocking_halt", Ordering::Relaxed, Blocking::Blocking,
+         WaitMode::HaltResume, 63897},
+        {"relaxed_nonblocking_poll", Ordering::Relaxed,
+         Blocking::NonBlocking, WaitMode::Polling, 54307},
+    };
+    for (const Case &c : cases) {
+        checkTick(c.name,
+                  runBasicWorkGroup(
+                      cfg, inv(Granularity::WorkGroup, c.o, c.b, c.w)),
+                  c.golden);
+    }
+}
+
+TEST(TimingParity, KernelGranularityManyGroups)
+{
+    const SystemConfig cfg = smallConfig();
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/k");
+    gpu::KernelLaunch k;
+    k.workItems = 8 * 256;
+    k.wgSize = 256;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::Kernel, Ordering::Relaxed,
+                     Blocking::Blocking);
+        co_await sys.gpuSys().pwrite(ctx, i, -1, nullptr, 0, 0);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    checkTick("kernel_granularity", sys.run(), 30230);
+}
+
+TEST(TimingParity, WorkItemPerLanePwrites)
+{
+    const SystemConfig cfg = smallConfig();
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/wi");
+    static char lane_bytes[64];
+    for (int i = 0; i < 64; ++i)
+        lane_bytes[i] = static_cast<char>('A' + (i % 26));
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::WorkGroup, Ordering::Strong,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/wi", 1);
+        Invocation wi = inv(Granularity::WorkItem, Ordering::Strong,
+                            Blocking::Blocking);
+        co_await sys.gpuSys().invokeWorkItems(
+            ctx, wi, osk::sysno::pwrite64, [fd](std::uint32_t lane) {
+                return std::optional(osk::makeArgs(
+                    static_cast<int>(fd), &lane_bytes[lane], 1, lane));
+            });
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    checkTick("workitem_lane_pwrites", sys.run(), 264398);
+}
+
+TEST(TimingParity, CoalescedInterruptBatches)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.genesys.coalesceWindow = ticks::us(50);
+    cfg.genesys.coalesceMaxBatch = 8;
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/co")->setSynthetic(1 << 20);
+    gpu::KernelLaunch k;
+    k.workItems = 16 * 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::WorkGroup, Ordering::Relaxed,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/co", 0);
+        co_await sys.gpuSys().pread(ctx, i, static_cast<int>(fd),
+                                    nullptr, 4096,
+                                    ctx.workgroupId() * 4096);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    checkTick("coalesced_batches", sys.run(), 161476);
+}
+
+TEST(TimingParity, ResidencyPressureManyGroups)
+{
+    // More work-groups than the small device can hold resident.
+    const SystemConfig cfg = smallConfig();
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/rp");
+    gpu::KernelLaunch k;
+    k.workItems = 32 * 64;
+    k.wgSize = 64;
+    static char bytes[32];
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        bytes[ctx.workgroupId()] =
+            static_cast<char>('a' + ctx.workgroupId() % 26);
+        auto i = inv(Granularity::WorkGroup, Ordering::Relaxed,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/rp", 1);
+        co_await sys.gpuSys().pwrite(ctx, i, static_cast<int>(fd),
+                                     &bytes[ctx.workgroupId()], 1,
+                                     ctx.workgroupId());
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    checkTick("residency_pressure", sys.run(), 208769);
+}
+
+TEST(TimingParity, NonBlockingSlotReuse)
+{
+    const SystemConfig cfg = smallConfig();
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/reuse");
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    static const char byte = 'r';
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::WorkGroup, Ordering::Relaxed,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/reuse", 1);
+        auto nb = inv(Granularity::WorkGroup, Ordering::Relaxed,
+                      Blocking::NonBlocking);
+        for (int n = 0; n < 8; ++n) {
+            co_await sys.gpuSys().pwrite(ctx, nb, static_cast<int>(fd),
+                                         &byte, 1, n);
+        }
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    checkTick("nonblocking_reuse", sys.run(), 215138);
+}
+
+TEST(TimingParity, PollingDaemonBackend)
+{
+    const SystemConfig cfg = smallConfig();
+    System sys(cfg);
+    sys.kernel().vfs().createFile("/pd");
+    sys.host().startPollingDaemon(ticks::us(20));
+    static const char data[] = "daemon";
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        auto i = inv(Granularity::WorkGroup, Ordering::Strong,
+                     Blocking::Blocking);
+        const auto fd = co_await sys.gpuSys().open(ctx, i, "/pd", 1);
+        co_await sys.gpuSys().pwrite(ctx, i, static_cast<int>(fd),
+                                     data, 6, 0);
+        sys.host().stopDaemon();
+    };
+    sys.launchGpu(std::move(k));
+    checkTick("polling_daemon", sys.run(), 77801);
+}
+
+TEST(TimingParity, GrepWorkGroupAndWorkItem)
+{
+    // fig13a shape on a reduced corpus; syscall-heavy (open/read/write
+    // per file) and residency-limited, via both granularities.
+    auto run = [](workloads::GrepMode mode) {
+        SystemConfig cfg = smallConfig();
+        System sys(cfg);
+        workloads::GrepCorpusConfig cc;
+        cc.numFiles = 32;
+        cc.fileBytes = 2 * 1024;
+        const auto corpus = workloads::buildGrepCorpus(sys, cc);
+        const auto res = workloads::runGrep(sys, corpus, mode);
+        EXPECT_TRUE(res.correct);
+        return res.elapsed;
+    };
+    checkTick("grep_workgroup", run(workloads::GrepMode::GpuWorkGroup),
+              902796);
+    checkTick("grep_workitem_poll",
+              run(workloads::GrepMode::GpuWorkItemPolling), 477865);
+}
+
+} // namespace
+} // namespace genesys::core
