@@ -4,11 +4,15 @@
 # gracefully when clang-tidy is not installed (the dev container does
 # not ship it; CI installs it).
 #
-# Usage: scripts/clang_tidy.sh [build-dir]
+# Usage: scripts/clang_tidy.sh [build-dir] [path-filter]
+#   path-filter: optional substring; only sources whose repo-relative
+#   path contains it are linted (e.g. "src/sim/" while iterating on
+#   the explorer). Default: everything tier-1.
 set -u
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
+filter="${2:-}"
 
 tidy="$(command -v clang-tidy || true)"
 if [ -z "$tidy" ]; then
@@ -25,6 +29,14 @@ fi
 runner="$(command -v run-clang-tidy || true)"
 mapfile -t sources < <(git -C "$repo" ls-files \
     'src/*.cc' 'tests/*.cc' 'bench/*.cc')
+if [ -n "$filter" ]; then
+    mapfile -t sources < <(printf '%s\n' "${sources[@]}" \
+        | grep -F -- "$filter")
+    if [ "${#sources[@]}" -eq 0 ]; then
+        echo "error: path filter '$filter' matches no sources." >&2
+        exit 2
+    fi
+fi
 
 echo "clang-tidy gate: ${#sources[@]} files, config $repo/.clang-tidy"
 if [ -n "$runner" ]; then

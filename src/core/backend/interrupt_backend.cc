@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/sync.hh"
+#include "support/gmc_probe.hh"
 #include "support/gsan.hh"
 #include "support/trace.hh"
 
@@ -27,6 +28,9 @@ InterruptBackend::onGpuInterrupt(std::uint32_t cu,
                                  std::uint32_t hw_wave_slot)
 {
     const std::uint32_t shard = core_.area().shardOfCu(cu);
+    // gmc footprint: the raising event writes the shard's doorbell
+    // line (this runs inline in the GPU publisher's event).
+    gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
     ++interrupts_;
     ++shards_[shard].interrupts;
     ++inFlight_;
@@ -44,6 +48,9 @@ InterruptBackend::interruptArrival(std::uint32_t shard,
     co_await sim::Delay(eq, osk_params.interruptDeliver);
     co_await sim::Delay(eq, osk_params.interruptHandler);
 
+    // gmc footprint: the handler reads the doorbell and mutates the
+    // shard's pending batch.
+    gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
     ShardState &ss = shards_[shard];
     ss.pendingBatch.push_back(hw_wave_slot);
     if (params_.coalesceWindow == 0 ||
@@ -66,6 +73,7 @@ InterruptBackend::interruptArrival(std::uint32_t shard,
 void
 InterruptBackend::flushPendingBatch(std::uint32_t shard)
 {
+    gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
     ShardState &ss = shards_[shard];
     if (ss.pendingBatch.empty())
         return;
@@ -115,6 +123,8 @@ InterruptBackend::serviceBatch(std::vector<std::uint32_t> waves,
     // workqueue semantics), starting with the switch into the context
     // of the process that launched the GPU kernel (Section VI).
     co_await kernel.cpus().acquireCore();
+    // gmc footprint: this continuation holds the shared core grant.
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
     co_await sim::Delay(kernel.sim().events(),
                         osk_params.workqueueEnqueue +
                             osk_params.contextSwitch);
@@ -123,6 +133,7 @@ InterruptBackend::serviceBatch(std::vector<std::uint32_t> waves,
         GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
         --inFlight_;
     }
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
     kernel.cpus().releaseCore();
     drainWait_->notifyAll();
 }

@@ -103,6 +103,20 @@ ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
     const std::uint32_t requester = slot.hwWaveSlot();
     if (san)
         gsan_->setActor(servicer);
+    if (wake && params_.gsanTest.wakeBeforeComplete) {
+        // Seeded bug (gmc mutant): wake the halted requester before
+        // the result lands, yielding so the woken wave can observe the
+        // still-Processing slot and halt again — the complete() below
+        // then finishes into a wave nobody will ever wake.
+        gpu_.resumeWave(requester);
+        co_await sim::Delay(kernel_.sim().events(), 0);
+        if (san)
+            gsan_->setActor(servicer);
+        slot.complete(ret);
+        ++processed_;
+        area_.noteProcessed(area_.shardOfWave(requester));
+        co_return true;
+    }
     slot.complete(ret);
     ++processed_;
     area_.noteProcessed(area_.shardOfWave(requester));

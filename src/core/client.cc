@@ -7,6 +7,7 @@
 
 #include <cerrno>
 
+#include "support/gmc_probe.hh"
 #include "support/gsan.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
@@ -94,6 +95,10 @@ GpuSyscalls::waitSlots(
                     area_.slotAddr(first_slot + lane),
                     gpu_.config().atomicLoad);
             }
+            // gmc footprint: the wait sweep reads the slot's state
+            // word, so it conflicts with any CPU-side transition.
+            gmc::Probe::instance().touch(gmc::ProbeKind::Slot,
+                                         first_slot + lane);
             if (slot.finished()) {
                 if (sanOn())
                     sanActor(ctx);
@@ -148,6 +153,14 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
 
     co_await claimSlot(ctx, item_slot);
     co_await sim::Delay(ctx.sim().events(), params_.perLanePopulate);
+    if (params_.gsanTest.doorbellBeforePublish) {
+        // Seeded bug (gmc mutant): ring the doorbell before the slot
+        // is published. Under FIFO tie-breaking the publish still wins
+        // the race against the interrupt pipeline, but an adversarial
+        // schedule services the wave while the slot is Populating,
+        // stranding the request.
+        gpu_.sendInterrupt(ctx.hwWaveSlot());
+    }
     co_await gpu_.accessLine(addr, gpu_.config().atomicSwap);
     if (sanOn())
         sanActor(ctx);
@@ -160,7 +173,8 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
                   ctx.hwWaveSlot(), sysno, orderingName(inv.ordering),
                   blockingName(inv.blocking),
                   waitModeName(inv.waitMode));
-    gpu_.sendInterrupt(ctx.hwWaveSlot());
+    if (!params_.gsanTest.doorbellBeforePublish)
+        gpu_.sendInterrupt(ctx.hwWaveSlot());
 
     if (params_.gsanTest.racyPeekBeforeFinished &&
         inv.blocking == Blocking::Blocking) {

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * gmc GENESYS binding implementation.
+ */
+
+#include "gmc.hh"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "osk/vfs.hh"
+#include "support/gmc_probe.hh"
+#include "support/logging.hh"
+
+namespace genesys::core::gmc
+{
+
+using logging::format;
+
+namespace
+{
+
+/// Event budget per explored run. Collapsed clean runs execute a few
+/// hundred events; a livelocked schedule (e.g. a stranded poller)
+/// burns through this quickly and is reported as "stuck".
+constexpr std::uint64_t kMaxEventsPerRun = 20'000;
+/// Simulated-time horizon per run (collapsed clean runs end far
+/// below; polling always advances the clock, so a stuck run walks
+/// into one of the two budgets).
+constexpr Tick kHorizon = 2'000'000;
+
+/// Static payload bytes: non-blocking requests may outlive the
+/// issuing wavefront's coroutine frame, so argument buffers must not
+/// live on it.
+constexpr char kPayload[] = "abcdefghijklmnopqrstuvwxyz"
+                            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789+/";
+
+constexpr std::int64_t kUnset = INT64_MIN;
+
+/** Cross-wave workload state (alive for the whole run). */
+struct Shared
+{
+    std::vector<std::int64_t> results;
+    std::int64_t kernelFd = -1;
+};
+
+/** fd values depend on allocation order (schedule-dependent by
+ *  design), so the digest only keeps success/failure. */
+std::int64_t
+normalizeFd(std::int64_t fd)
+{
+    return fd >= 0 ? 1 : fd;
+}
+
+class Fnv1a
+{
+  public:
+    void
+    mix(std::uint64_t value)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (value >> (8 * i)) & 0xFF;
+            hash_ *= 1099511628211ull;
+        }
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+sim::Task<>
+runWave(System &sys, const McConfig mc,
+        const std::shared_ptr<Shared> shared, gpu::WavefrontCtx &ctx)
+{
+    GpuSyscalls &api = sys.gpuSys();
+    const std::uint32_t waveSize = ctx.laneCount();
+    const std::uint32_t group = ctx.workgroupId();
+
+    // Setup invocations (the open) always use the safest point of the
+    // design space; the payload pwrite uses the checked config.
+    Invocation setup;
+    setup.granularity = Granularity::WorkGroup;
+    setup.ordering = Ordering::Strong;
+    setup.blocking = Blocking::Blocking;
+    setup.waitMode = WaitMode::Polling;
+
+    Invocation payload;
+    payload.granularity = mc.granularity;
+    payload.ordering = mc.ordering;
+    payload.blocking = mc.blocking;
+    payload.waitMode = mc.wait;
+
+    if (mc.granularity == Granularity::Kernel) {
+        if (group == 0) {
+            const std::int64_t fd =
+                co_await api.open(ctx, setup, "/gmc/data", 1);
+            shared->kernelFd = fd;
+            shared->results[0] = normalizeFd(fd);
+        }
+        // Every wavefront participates in a kernel-granularity
+        // invocation; only work-group 0's leader issues (and only it
+        // uses the fd argument).
+        const std::int64_t ret = co_await api.pwrite(
+            ctx, payload, static_cast<int>(shared->kernelFd),
+            &kPayload[0], 1, 0);
+        if (group == 0)
+            shared->results[1] = ret;
+        co_return;
+    }
+
+    const std::int64_t fd =
+        co_await api.open(ctx, setup, "/gmc/data", 1);
+    shared->results[group * waveSize] = normalizeFd(fd);
+
+    if (mc.granularity == Granularity::WorkGroup) {
+        const std::int64_t ret = co_await api.pwrite(
+            ctx, payload, static_cast<int>(fd),
+            &kPayload[group % (sizeof(kPayload) - 1)], 1, group);
+        shared->results[group * waveSize + 1] = ret;
+        co_return;
+    }
+
+    // Work-item granularity: every lane issues its own pwrite to a
+    // disjoint offset.
+    //
+    // Both callbacks are hoisted into named locals: a lambda temporary
+    // with owning by-value captures inside a co_await full-expression
+    // is destroyed twice by GCC 12's coroutine lowering (an uncounted
+    // bitwise copy of the closure feeds the std::function conversion,
+    // then both frame slots are destroyed), silently dropping a
+    // shared_ptr reference. gmc's schedule-invariance oracle found
+    // this as a "divergence" on the clean work-item config; glint's
+    // coawait-owning-lambda rule now guards the pattern tree-wide.
+    std::function<std::optional<osk::SyscallArgs>(std::uint32_t)>
+        laneArgs = [&](std::uint32_t lane) {
+            const std::uint32_t item = group * waveSize + lane;
+            return std::optional<osk::SyscallArgs>(osk::makeArgs(
+                fd, &kPayload[item % (sizeof(kPayload) - 1)], 1,
+                static_cast<std::int64_t>(item)));
+        };
+    std::function<void(std::uint32_t, std::int64_t)> onResult =
+        [shared, group, waveSize](std::uint32_t lane,
+                                  std::int64_t ret) {
+            shared->results[group * waveSize + lane] = ret;
+        };
+    co_await api.invokeWorkItems(ctx, payload, osk::sysno::pwrite64,
+                                 std::move(laneArgs),
+                                 std::move(onResult));
+}
+
+} // namespace
+
+std::string
+McConfig::name() const
+{
+    const char *g = granularity == Granularity::WorkItem ? "wi"
+                    : granularity == Granularity::WorkGroup ? "wg"
+                                                            : "k";
+    return format("%s-%s-%s-%s-%ux%ug%u", g,
+                  ordering == Ordering::Strong ? "strong" : "relaxed",
+                  blocking == Blocking::Blocking ? "block" : "nonblock",
+                  wait == WaitMode::Polling ? "poll" : "halt",
+                  areaShards, workers, groups);
+}
+
+std::vector<McConfig>
+smallMatrix()
+{
+    std::vector<McConfig> configs;
+    auto add = [&configs](Granularity g, Ordering o, Blocking b,
+                          WaitMode w, std::uint32_t shards,
+                          std::uint32_t workers, std::uint32_t groups) {
+        McConfig mc;
+        mc.granularity = g;
+        mc.ordering = o;
+        mc.blocking = b;
+        mc.wait = w;
+        mc.areaShards = shards;
+        mc.workers = workers;
+        mc.groups = groups;
+        configs.push_back(mc);
+    };
+
+    // 1 shard × 1 worker × 1 group: exhaustively explorable; every
+    // legal granularity/ordering/blocking/wait combination (work-item
+    // implies strong, kernel requires relaxed, wait mode only matters
+    // when blocking).
+    add(Granularity::WorkItem, Ordering::Strong, Blocking::Blocking,
+        WaitMode::Polling, 1, 1, 1);
+    add(Granularity::WorkItem, Ordering::Strong, Blocking::Blocking,
+        WaitMode::HaltResume, 1, 1, 1);
+    add(Granularity::WorkItem, Ordering::Strong, Blocking::NonBlocking,
+        WaitMode::Polling, 1, 1, 1);
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::Polling, 1, 1, 1);
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::HaltResume, 1, 1, 1);
+    add(Granularity::WorkGroup, Ordering::Relaxed, Blocking::Blocking,
+        WaitMode::Polling, 1, 1, 1);
+    add(Granularity::WorkGroup, Ordering::Relaxed,
+        Blocking::NonBlocking, WaitMode::Polling, 1, 1, 1);
+    add(Granularity::Kernel, Ordering::Relaxed, Blocking::Blocking,
+        WaitMode::Polling, 1, 1, 1);
+    add(Granularity::Kernel, Ordering::Relaxed, Blocking::NonBlocking,
+        WaitMode::Polling, 1, 1, 1);
+
+    // Multi-actor points (bounded + POR): concurrent groups on one
+    // shard, then sharded areas with parallel workers.
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::Polling, 1, 1, 2);
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::HaltResume, 1, 1, 2);
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::Polling, 2, 2, 2);
+    add(Granularity::WorkGroup, Ordering::Strong, Blocking::Blocking,
+        WaitMode::HaltResume, 2, 2, 2);
+    return configs;
+}
+
+const McConfig *
+configByName(const std::vector<McConfig> &configs,
+             const std::string &name)
+{
+    for (const McConfig &mc : configs) {
+        if (mc.name() == name)
+            return &mc;
+    }
+    return nullptr;
+}
+
+SystemConfig
+collapsedConfig(const McConfig &mc)
+{
+    SystemConfig cfg;
+    cfg.seed = 12345;
+
+    auto &g = cfg.gpu;
+    g.numCus = mc.areaShards; // one CU per shard
+    g.wavefrontSize = 2;      // two lanes: minimal work-item fan-out
+    g.maxWavesPerCu = 2;      // up to two single-wave groups per CU
+    g.maxWorkGroupsPerCu = 2;
+    g.kernelLaunchLatency = 0;
+    g.waveResumeLatency = 0;
+    g.dynamicLaunchLatency = 0;
+    g.l2HitLatency = 0;
+    g.atomicCmpSwap = 0;
+    g.atomicSwap = 0;
+    g.atomicLoad = 0;
+    g.plainLoad = 0;
+
+    cfg.kernel.cpuCores = 2;
+    cfg.kernel.workqueueWorkers = mc.workers;
+    auto &o = cfg.kernel.params;
+    o.syscallBase = 0;
+    o.pathComponent = 0;
+    o.pageCacheLookup = 0;
+    o.mmapBase = 0;
+    o.munmapBase = 0;
+    o.madviseBase = 0;
+    o.perPageRelease = 0;
+    o.minorFault = 0;
+    o.swapInPerPage = 0;
+    o.swapOutPerPage = 0;
+    o.udpSendBase = 0;
+    o.udpRecvBase = 0;
+    o.signalQueue = 0;
+    o.signalDeliver = 0;
+    o.getrusage = 0;
+    o.ioctlBase = 0;
+    o.lseek = 0;
+    o.workqueueEnqueue = 0;
+    o.workerDispatch = 0;
+    o.contextSwitch = 0;
+    o.interruptDeliver = 0;
+    o.interruptHandler = 0;
+    // tmpfs/net bytes-per-sec stay nonzero (they are divisors); at
+    // 1-byte transfers they contribute zero ticks anyway.
+
+    cfg.memBus.requestOverhead = 0;
+
+    auto &gp = cfg.genesys;
+    gp.areaShards = mc.areaShards;
+    // The one latency deliberately kept nonzero: polling must advance
+    // the clock or a waiting wave could spin forever inside one tick.
+    // One GPU cycle rounds up to one tick.
+    gp.pollIntervalCycles = 1;
+    gp.perLanePopulate = 0;
+    gp.l1FlushCost = 0;
+    gp.gsanTest = mc.hooks;
+    return cfg;
+}
+
+sim::gmc::RunFn
+scenario(const McConfig &mc)
+{
+    return [mc](sim::gmc::ScheduleDriver &driver)
+               -> sim::gmc::RunOutcome {
+        sim::gmc::RunOutcome out;
+        auto &probe = genesys::gmc::Probe::instance();
+
+        System sys(collapsedConfig(mc));
+        osk::RegularFile *file =
+            sys.kernel().vfs().createFile("/gmc/data");
+        const std::uint32_t waveSize = sys.config().gpu.wavefrontSize;
+
+        auto shared = std::make_shared<Shared>();
+        shared->results.assign(
+            static_cast<std::size_t>(mc.groups) * waveSize, kUnset);
+
+        sys.gsan().setEnabled(true);
+        sys.sim().events().setTieBreaker(&driver);
+
+        // Service loops (workqueue workers, backend pollers) are
+        // perpetual: they idle suspended on their wait queues after a
+        // clean drain. Everything spawned beyond this baseline — wave
+        // programs, the drain task — must have completed by the end.
+        const std::size_t idleTasks = sys.sim().liveTasks();
+
+        gpu::KernelLaunch launch;
+        launch.workItems =
+            static_cast<std::uint64_t>(mc.groups) * waveSize;
+        launch.wgSize = waveSize;
+        launch.program = [&sys, mc,
+                          shared](gpu::WavefrontCtx &ctx)
+            -> sim::Task<> { return runWave(sys, mc, shared, ctx); };
+        sys.launchGpuAndDrain(std::move(launch));
+
+        probe.setEnabled(true);
+        (void)probe.drain(); // discard pre-run (deterministic) touches
+
+        bool panicked = false;
+        std::string what;
+        try {
+            sys.run(kHorizon, kMaxEventsPerRun);
+        } catch (const std::exception &e) {
+            panicked = true;
+            what = e.what();
+        }
+        probe.setEnabled(false);
+        sys.sim().events().setTieBreaker(nullptr);
+
+        out.endTick = sys.sim().now();
+        out.events = sys.sim().events().executedEvents();
+
+        if (panicked) {
+            out.violation = true;
+            out.kind = "panic";
+            out.detail = what;
+            return out;
+        }
+        if (!sys.sim().events().empty()) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "run exceeded its budget (%llu events, tick %llu): "
+                "livelock or starvation",
+                static_cast<unsigned long long>(out.events),
+                static_cast<unsigned long long>(out.endTick));
+            return out;
+        }
+        if (sys.sim().liveTasks() > idleTasks) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "%zu task(s) beyond the %zu idle service loops still "
+                "suspended with a drained event queue: lost wakeup "
+                "or deadlock",
+                sys.sim().liveTasks() - idleTasks, idleTasks);
+            return out;
+        }
+        if (sys.gsan().reportCount() != 0) {
+            out.violation = true;
+            out.kind = "gsan";
+            out.detail = sys.gsan().renderReports();
+            return out;
+        }
+        for (std::uint32_t s = 0; s < sys.syscallArea().shardCount();
+             ++s) {
+            if (!sys.syscallArea().quiescent(s)) {
+                out.violation = true;
+                out.kind = "quiescence";
+                out.detail = format(
+                    "shard %u has non-Free slots after drain", s);
+                return out;
+            }
+        }
+
+        Fnv1a digest;
+        for (std::int64_t r : shared->results)
+            digest.mix(static_cast<std::uint64_t>(r));
+        for (std::uint8_t b : file->data())
+            digest.mix(b);
+        for (std::uint32_t s = 0; s < sys.syscallArea().shardCount();
+             ++s) {
+            digest.mix(sys.syscallArea().issuedOnShard(s));
+            digest.mix(sys.syscallArea().processedOnShard(s));
+        }
+        out.digest = digest.value();
+        return out;
+    };
+}
+
+sim::gmc::ExploreResult
+exploreConfig(const McConfig &mc, const sim::gmc::ExploreOptions &opts)
+{
+    return sim::gmc::explore(scenario(mc), opts);
+}
+
+sim::gmc::RunOutcome
+replayConfig(const McConfig &mc, const sim::gmc::Schedule &schedule)
+{
+    return sim::gmc::replay(scenario(mc), schedule);
+}
+
+} // namespace genesys::core::gmc

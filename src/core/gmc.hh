@@ -1,0 +1,95 @@
+/**
+ * @file
+ * gmc: the GENESYS slot-protocol binding of the schedule-space model
+ * checker (DESIGN.md §11).
+ *
+ * A checked configuration (McConfig) picks a point in the paper's
+ * design-space matrix — granularity × ordering × blocking × wait
+ * mechanism × areaShards × workqueue workers × concurrent work-groups
+ * — and scenario() builds a *timing-collapsed* System for it: every
+ * modeled latency is zeroed except the polling cadence (kept at one
+ * tick so waiting always advances time and clean runs terminate under
+ * every schedule). With latencies collapsed, the logically-concurrent
+ * protocol steps (publish, doorbell, service, complete, sweep, halt,
+ * wake) land on the same tick, so the EventQueue tie-break schedule
+ * *is* the concurrency schedule and sim::gmc::explore() can enumerate
+ * the commutation space.
+ *
+ * Each explored schedule runs a fixed workload (per-group open +
+ * pwrite to disjoint offsets) and applies the invariant oracles:
+ *  - slot-FSM legality & internal assertions (PanicError ⇒ "panic")
+ *  - progress: queue drained with no suspended tasks, within the
+ *    event/horizon budget (⇒ "stuck": lost wakeup, deadlock, livelock)
+ *  - gsan-clean: zero happens-before sanitizer reports (⇒ "gsan")
+ *  - per-shard quiescence: every slot Free at end (⇒ "quiescence")
+ *  - result equivalence: the digest of results + payload bytes +
+ *    counters must match the FIFO reference (⇒ "divergence",
+ *    applied by the explorer)
+ */
+
+#ifndef GENESYS_CORE_GMC_HH
+#define GENESYS_CORE_GMC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/client.hh"
+#include "core/system.hh"
+#include "sim/explore.hh"
+
+namespace genesys::core::gmc
+{
+
+/** One checked point of the design-space matrix. */
+struct McConfig
+{
+    Granularity granularity = Granularity::WorkGroup;
+    Ordering ordering = Ordering::Strong;
+    Blocking blocking = Blocking::Blocking;
+    WaitMode wait = WaitMode::Polling;
+    std::uint32_t areaShards = 1;
+    std::uint32_t workers = 1;
+    /// Concurrent work-groups (one wavefront each); they write
+    /// disjoint file offsets, so results are schedule-invariant.
+    std::uint32_t groups = 1;
+    /// Seeded protocol mutants (all off = the shipped protocol).
+    GenesysParams::GsanTestHooks hooks{};
+
+    /** Stable identifier, e.g. "wg-strong-block-poll-1x1g1". */
+    std::string name() const;
+};
+
+/**
+ * The clean small-config matrix CI smoke-checks: every legal
+ * granularity/ordering/blocking/wait combination at 1 shard × 1
+ * worker × 1 group (exhaustively explorable), plus multi-shard /
+ * multi-worker / multi-group points for bounded+POR exploration.
+ */
+std::vector<McConfig> smallMatrix();
+
+/** Look @p name up in @p configs; nullptr when absent. */
+const McConfig *configByName(const std::vector<McConfig> &configs,
+                             const std::string &name);
+
+/** The timing-collapsed SystemConfig scenario() runs under. */
+SystemConfig collapsedConfig(const McConfig &mc);
+
+/**
+ * The re-executable scenario for explore()/replay(): builds a fresh
+ * collapsed System, installs the driver, runs the workload under
+ * budget, applies the oracles, and digests the final state.
+ */
+sim::gmc::RunFn scenario(const McConfig &mc);
+
+/** explore() over this config's scenario. */
+sim::gmc::ExploreResult exploreConfig(const McConfig &mc,
+                                      const sim::gmc::ExploreOptions &opts);
+
+/** Re-execute one schedule of this config (--gmc-replay). */
+sim::gmc::RunOutcome replayConfig(const McConfig &mc,
+                                  const sim::gmc::Schedule &schedule);
+
+} // namespace genesys::core::gmc
+
+#endif // GENESYS_CORE_GMC_HH

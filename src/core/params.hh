@@ -95,6 +95,15 @@ struct GenesysParams
         /// final polling sweep and the halt, opening the window where
         /// the CPU's wake fires into a not-yet-halted wave.
         std::uint64_t haltGapCycles = 0;
+        /// gmc mutant: ring the shard doorbell (s_sendmsg) before the
+        /// slot publish instead of after. Invisible under FIFO
+        /// tie-breaking; an adversarial schedule services the wave
+        /// while its slot is still Populating and strands the request.
+        bool doorbellBeforePublish = false;
+        /// gmc mutant: deliver the HaltResume wake before depositing
+        /// the result (complete()). The woken wave's sweep finds the
+        /// slot still Processing and halts again — a lost wakeup.
+        bool wakeBeforeComplete = false;
     };
     GsanTestHooks gsanTest;
 };

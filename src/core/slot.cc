@@ -5,6 +5,7 @@
 
 #include "slot.hh"
 
+#include "support/gmc_probe.hh"
 #include "support/gsan.hh"
 #include "support/logging.hh"
 
@@ -63,6 +64,8 @@ SyscallSlot::transition(SlotState to)
 bool
 SyscallSlot::claim()
 {
+    // gmc footprint: a claim (even a failed one) reads the state word.
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     if (state_ != SlotState::Free)
         return false;
     // Free->Populating is an atomic CAS on the slot line: the claimer
@@ -79,6 +82,7 @@ SyscallSlot::publish(int sysno, const osk::SyscallArgs &args,
                      bool blocking, WaitMode wait_mode,
                      std::uint32_t hw_wave_slot)
 {
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     GENESYS_ASSERT(state_ == SlotState::Populating,
                    "publish from state %s", slotStateName(state_));
     sysno_ = sysno;
@@ -97,6 +101,7 @@ SyscallSlot::publish(int sysno, const osk::SyscallArgs &args,
 bool
 SyscallSlot::beginProcessing()
 {
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     if (state_ != SlotState::Ready)
         return false;
     if (gsan_ && gsan_->enabled()) {
@@ -110,6 +115,7 @@ SyscallSlot::beginProcessing()
 void
 SyscallSlot::complete(std::int64_t result)
 {
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     GENESYS_ASSERT(state_ == SlotState::Processing,
                    "complete from state %s", slotStateName(state_));
     result_ = result;
@@ -128,6 +134,7 @@ SyscallSlot::consume()
     // Processing->Free is a legal edge (non-blocking complete), so
     // edge legality alone would let a consume() race a non-blocking
     // completion undetected.
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     GENESYS_ASSERT(state_ == SlotState::Finished,
                    "consume from state %s", slotStateName(state_));
     if (gsan_ && gsan_->enabled()) {
@@ -145,6 +152,7 @@ SyscallSlot::consume()
 std::int64_t
 SyscallSlot::racyPeekResult() const
 {
+    gmc::Probe::instance().touch(gmc::ProbeKind::Slot, gsanId_);
     if (gsan_ && gsan_->enabled())
         gsan_->slotRead(gsanId_, "result");
     return result_;

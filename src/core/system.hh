@@ -82,7 +82,10 @@ class System
     }
 
     /** Run the simulation to quiescence (or @p limit). */
-    Tick run(Tick limit = kMaxTick) { return sim_->run(limit); }
+    Tick run(Tick limit = kMaxTick, std::uint64_t max_events = 0)
+    {
+        return sim_->run(limit, max_events);
+    }
 
     /** One-line platform description (Table III analogue). */
     std::string platformString() const;

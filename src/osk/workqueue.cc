@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "support/gmc_probe.hh"
+
 namespace genesys::osk
 {
 
@@ -100,8 +102,8 @@ WorkQueue::WorkQueue(sim::Sim &sim, CpuCluster &cpus,
       queues_(max_workers == 0 ? 1 : max_workers),
       loopLive_(queues_.size(), true),
       activeWorkers_(static_cast<std::uint32_t>(queues_.size())),
-      executedBy_(queues_.size(), 0),
-      wait_(std::make_unique<sim::WaitQueue>(sim.events()))
+      wait_(std::make_unique<sim::WaitQueue>(sim.events())),
+      executedBy_(queues_.size(), 0)
 {
     for (std::uint32_t i = 0; i < workerCap(); ++i)
         sim_.spawn(workerLoop(i));
@@ -130,6 +132,8 @@ WorkQueue::enqueueOn(std::uint32_t worker, TaskFactory factory)
             ++spills_;
         }
     }
+    // gmc footprint: the enqueuing event writes this worker's queue.
+    gmc::Probe::instance().touch(gmc::ProbeKind::Worker, target);
     queues_[target].push_back(std::move(factory));
     ++totalQueued_;
     // workerDispatch models the latency until an idle worker notices
@@ -194,6 +198,8 @@ WorkQueue::workerLoop(std::uint32_t worker)
             }
             ++steals_;
         }
+        // gmc footprint: the pickup event consumes from this queue.
+        gmc::Probe::instance().touch(gmc::ProbeKind::Worker, from);
         TaskFactory factory = std::move(queues_[from].front());
         queues_[from].pop_front();
         --totalQueued_;

@@ -37,6 +37,8 @@ EventQueue::deschedule(EventId id)
 bool
 EventQueue::runOne()
 {
+    if (tieBreaker_ != nullptr)
+        return runOneWithPolicy();
     while (!queue_.empty()) {
         Event ev = std::move(const_cast<Event &>(queue_.top()));
         queue_.pop();
@@ -50,9 +52,58 @@ EventQueue::runOne()
     return false;
 }
 
-Tick
-EventQueue::run(Tick limit)
+bool
+EventQueue::runOneWithPolicy()
 {
+    // Gather every live event tied at the earliest tick. Pops arrive in
+    // (when, seq) order, so `tied` is FIFO-ordered by construction.
+    std::vector<Event> tied;
+    while (!queue_.empty()) {
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        if (!pending_.contains(ev.id))
+            continue; // tombstone of a cancelled event
+        if (!tied.empty() && ev.when != tied.front().when) {
+            queue_.push(std::move(ev)); // first strictly-later event
+            break;
+        }
+        tied.push_back(std::move(ev));
+    }
+    if (tied.empty())
+        return false;
+
+    std::size_t choice = 0;
+    if (tied.size() > 1) {
+        std::vector<TieBreakCandidate> candidates;
+        candidates.reserve(tied.size());
+        for (const Event &ev : tied)
+            candidates.push_back(TieBreakCandidate{ev.id, ev.seq});
+        choice = tieBreaker_->pick(tied.front().when, candidates);
+        GENESYS_ASSERT(choice < tied.size(),
+                       "tie-break policy chose %zu of %zu candidates",
+                       choice, tied.size());
+    }
+
+    // Re-queue the losers with their original seq numbers (their FIFO
+    // rank among themselves is preserved) *before* running the winner,
+    // so the callback can deschedule them normally.
+    for (std::size_t i = 0; i < tied.size(); ++i) {
+        if (i != choice)
+            queue_.push(std::move(tied[i]));
+    }
+    Event chosen = std::move(tied[choice]);
+    pending_.erase(chosen.id);
+    now_ = chosen.when;
+    ++executed_;
+    chosen.cb();
+    tieBreaker_->onExecute(chosen.id, chosen.when);
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit, std::uint64_t max_events)
+{
+    std::uint64_t ran = 0;
     while (!queue_.empty()) {
         // Skip tombstones without advancing time.
         if (!pending_.contains(queue_.top().id)) {
@@ -63,7 +114,10 @@ EventQueue::run(Tick limit)
             now_ = limit;
             return now_;
         }
+        if (max_events != 0 && ran >= max_events)
+            return now_;
         runOne();
+        ++ran;
     }
     return now_;
 }

@@ -26,6 +26,47 @@ namespace genesys::sim
 /** Handle for cancelling a scheduled event. */
 using EventId = std::uint64_t;
 
+/**
+ * One runnable event offered to a TieBreakPolicy. @p seq is the
+ * monotone scheduling sequence number: candidates are always presented
+ * in seq-ascending (FIFO) order, so index 0 is what the default policy
+ * would run.
+ */
+struct TieBreakCandidate
+{
+    EventId id;
+    std::uint64_t seq;
+};
+
+/**
+ * Pluggable same-tick tie-break policy (the gmc model checker's hook
+ * into the engine). When installed, every point where two or more live
+ * events are runnable at the same tick becomes an explicit choice:
+ * pick() selects which one executes next. With no policy installed the
+ * queue keeps its original FIFO order on the original code path, so
+ * default-schedule runs stay bit-identical.
+ */
+class TieBreakPolicy
+{
+  public:
+    virtual ~TieBreakPolicy() = default;
+
+    /**
+     * Choose which of @p candidates (>= 2, FIFO order) runs next at
+     * tick @p now. Return an index into @p candidates.
+     */
+    virtual std::size_t pick(Tick now,
+                             const std::vector<TieBreakCandidate> &candidates)
+        = 0;
+
+    /**
+     * Called after every event callback finishes (including unique,
+     * non-tied events). Lets a schedule recorder attribute side effects
+     * (e.g. footprint probes) to the event that produced them.
+     */
+    virtual void onExecute(EventId id, Tick when) { (void)id; (void)when; }
+};
+
 class EventQueue
 {
   public:
@@ -67,15 +108,28 @@ class EventQueue
     /**
      * Run until the queue drains or the next event would fire past
      * @p limit. Time is left at the tick of the last executed event
-     * (or advanced to @p limit if events remain beyond it).
+     * (or advanced to @p limit if events remain beyond it). When
+     * @p max_events is non-zero, stop after executing that many events
+     * in this call even if runnable work remains (model-checking budget
+     * against schedules that never quiesce).
      * @return the final value of now().
      */
-    Tick run(Tick limit = kMaxTick);
+    Tick run(Tick limit = kMaxTick, std::uint64_t max_events = 0);
 
     /** Total events executed so far (for stats / leak checks). */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Install (or clear, with nullptr) a same-tick tie-break policy.
+     * Non-owning; the policy must outlive the queue or be cleared
+     * first. Null keeps the original FIFO fast path.
+     */
+    void setTieBreaker(TieBreakPolicy *policy) { tieBreaker_ = policy; }
+
+    TieBreakPolicy *tieBreaker() const { return tieBreaker_; }
+
   private:
+    bool runOneWithPolicy();
     struct Event
     {
         Tick when;
@@ -103,6 +157,7 @@ class EventQueue
     /// Ids scheduled but neither executed nor cancelled. Cancelled
     /// entries stay in queue_ as tombstones until popped.
     std::unordered_set<EventId> pending_;
+    TieBreakPolicy *tieBreaker_ = nullptr;
 };
 
 } // namespace genesys::sim

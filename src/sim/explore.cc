@@ -1,0 +1,282 @@
+/**
+ * @file
+ * gmc schedule-space explorer implementation.
+ */
+
+#include "explore.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/gmc_probe.hh"
+#include "support/logging.hh"
+
+namespace genesys::sim::gmc
+{
+
+using logging::format;
+
+std::string
+renderSchedule(const Schedule &schedule)
+{
+    if (schedule.empty())
+        return "fifo";
+    std::string out;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (i > 0)
+            out += '.';
+        out += std::to_string(schedule[i]);
+    }
+    return out;
+}
+
+bool
+parseSchedule(const std::string &text, Schedule &out)
+{
+    out.clear();
+    if (text.empty() || text == "fifo")
+        return true;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('.', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end == pos)
+            return false; // empty component ("1..2", ".1", "1.")
+        std::uint64_t value = 0;
+        for (std::size_t i = pos; i < end; ++i) {
+            const char c = text[i];
+            if (c < '0' || c > '9')
+                return false;
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+            if (value > 0xFFFF'FFFFull)
+                return false;
+        }
+        out.push_back(static_cast<Choice>(value));
+        pos = end + 1;
+    }
+    if (text.back() == '.')
+        return false;
+    // Canonicalize: trailing zeros are implied FIFO choices.
+    while (!out.empty() && out.back() == 0)
+        out.pop_back();
+    return true;
+}
+
+std::size_t
+ScheduleDriver::pick(Tick now,
+                     const std::vector<TieBreakCandidate> &candidates)
+{
+    (void)now;
+    const std::size_t point = points_.size();
+    std::size_t chosen = 0;
+    if (point < prefix_.size()) {
+        chosen = prefix_[point];
+        if (chosen >= candidates.size()) {
+            panic("gmc replay: choice %zu at point %zu out of range "
+                  "(%zu candidates) — schedule is not from this "
+                  "scenario/config",
+                  chosen, point, candidates.size());
+        }
+    }
+    ChoicePoint cp;
+    cp.execIndex = trace_.size();
+    cp.candidates.reserve(candidates.size());
+    for (const TieBreakCandidate &c : candidates)
+        cp.candidates.push_back(c.id);
+    cp.chosen = chosen;
+    points_.push_back(std::move(cp));
+    return chosen;
+}
+
+void
+ScheduleDriver::onExecute(EventId id, Tick when)
+{
+    ExecRecord rec;
+    rec.id = id;
+    rec.when = when;
+    rec.footprint = genesys::gmc::Probe::instance().drain();
+    trace_.push_back(std::move(rec));
+}
+
+Schedule
+ScheduleDriver::chosenSchedule() const
+{
+    Schedule out;
+    out.reserve(points_.size());
+    for (const ChoicePoint &cp : points_)
+        out.push_back(static_cast<Choice>(cp.chosen));
+    while (!out.empty() && out.back() == 0)
+        out.pop_back();
+    return out;
+}
+
+namespace
+{
+
+bool
+footprintsIntersect(const std::vector<std::uint64_t> &a,
+                    const std::vector<std::uint64_t> &b)
+{
+    // Both sides are sorted (Probe::drain()).
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j])
+            return true;
+        if (a[i] < b[j])
+            ++i;
+        else
+            ++j;
+    }
+    return false;
+}
+
+/**
+ * Partial-order reduction test: can the alternative candidate at
+ * index @p alt of choice point @p point be skipped because running it
+ * first provably commutes into an already-covered interleaving?
+ *
+ * The alternative commutes when every event executed from the choice
+ * point until the alternative's own execution touched a disjoint
+ * footprint: swapping it to the front yields a Mazurkiewicz-equivalent
+ * trace *of this run*. An alternative that never executed in this run
+ * (descheduled, or the run ended/violated first) must be explored.
+ *
+ * This is a heuristic, not a sound DPOR: equivalence of the immediate
+ * commutation says nothing about the choice points that only arise
+ * deeper in the pruned subtree, and a bug needing several dependent
+ * flips stays hidden (observed: the doorbell-before-publish mutant is
+ * found exhaustively but pruned away here). Hence ExploreOptions::por
+ * defaults to off; bench/abl_gmc quantifies the reduction ratio and
+ * cross-checks POR against exhaustive enumeration per config.
+ */
+bool
+porPrunable(const ScheduleDriver &driver, std::size_t point,
+            std::size_t alt)
+{
+    const ChoicePoint &cp = driver.points()[point];
+    const EventId altId = cp.candidates[alt];
+    const auto &trace = driver.trace();
+    std::size_t altExec = trace.size();
+    for (std::size_t k = cp.execIndex; k < trace.size(); ++k) {
+        if (trace[k].id == altId) {
+            altExec = k;
+            break;
+        }
+    }
+    if (altExec == trace.size())
+        return false; // never executed: behavior unknown, explore it
+    const auto &altFoot = trace[altExec].footprint;
+    for (std::size_t k = cp.execIndex; k < altExec; ++k) {
+        if (footprintsIntersect(trace[k].footprint, altFoot))
+            return false; // dependent pair: order can matter
+    }
+    return true;
+}
+
+} // namespace
+
+ExploreResult
+explore(const RunFn &run, const ExploreOptions &options)
+{
+    ExploreResult result;
+    std::vector<Schedule> work;
+    work.push_back(Schedule{});
+    bool first = true;
+    bool stopped = false;
+
+    while (!work.empty() && !stopped) {
+        Schedule prefix = std::move(work.back());
+        work.pop_back();
+
+        ScheduleDriver driver(std::move(prefix));
+        RunOutcome outcome = run(driver);
+        ++result.stats.schedulesRun;
+        result.stats.choicePoints += driver.points().size();
+        result.stats.eventsExecuted += driver.trace().size();
+
+        if (first) {
+            result.reference = outcome;
+            first = false;
+        } else if (!outcome.violation && !result.reference.violation &&
+                   outcome.digest != result.reference.digest) {
+            outcome.violation = true;
+            outcome.kind = "divergence";
+            outcome.detail = format(
+                "final state digest %016llx differs from the FIFO "
+                "reference %016llx (results must be schedule-invariant)",
+                static_cast<unsigned long long>(outcome.digest),
+                static_cast<unsigned long long>(
+                    result.reference.digest));
+        }
+        if (outcome.violation) {
+            result.violations.push_back(
+                Counterexample{driver.chosenSchedule(), outcome});
+            if (result.violations.size() >=
+                options.maxCounterexamples) {
+                result.stats.exhaustive = false;
+                break;
+            }
+        }
+
+        // Expand alternatives at every point this run decided freely
+        // (points inside the prefix were prescribed, and are expanded
+        // by the run that created the prefix). Each schedule in
+        // canonical form is generated exactly once: from the run whose
+        // prefix is the schedule minus its trailing [0...0, c] tail.
+        const std::size_t prefixLen = driver.prefix().size();
+        for (std::size_t point = prefixLen;
+             point < driver.points().size(); ++point) {
+            if (options.maxDepth != 0 && point >= options.maxDepth) {
+                for (std::size_t p = point;
+                     p < driver.points().size(); ++p) {
+                    result.stats.branchesDeferred +=
+                        driver.points()[p].candidates.size() - 1;
+                }
+                result.stats.exhaustive = false;
+                break;
+            }
+            const ChoicePoint &cp = driver.points()[point];
+            for (std::size_t alt = 1; alt < cp.candidates.size();
+                 ++alt) {
+                if (options.maxBranch != 0 &&
+                    alt > options.maxBranch) {
+                    result.stats.branchesDeferred +=
+                        cp.candidates.size() - alt;
+                    result.stats.exhaustive = false;
+                    break;
+                }
+                if (options.por && porPrunable(driver, point, alt)) {
+                    ++result.stats.branchesPruned;
+                    continue;
+                }
+                Schedule next;
+                next.reserve(point + 1);
+                for (std::size_t p = 0; p < point; ++p) {
+                    next.push_back(static_cast<Choice>(
+                        driver.points()[p].chosen));
+                }
+                next.push_back(static_cast<Choice>(alt));
+                work.push_back(std::move(next));
+            }
+        }
+
+        if (options.maxSchedules != 0 &&
+            result.stats.schedulesRun >= options.maxSchedules &&
+            !work.empty()) {
+            result.stats.exhaustive = false;
+            stopped = true;
+        }
+    }
+    return result;
+}
+
+RunOutcome
+replay(const RunFn &run, const Schedule &schedule)
+{
+    ScheduleDriver driver(schedule);
+    return run(driver);
+}
+
+} // namespace genesys::sim::gmc

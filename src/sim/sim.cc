@@ -34,9 +34,9 @@ Sim::spawn(Task<> task)
 }
 
 Tick
-Sim::run(Tick limit)
+Sim::run(Tick limit, std::uint64_t max_events)
 {
-    const Tick end = eq_.run(limit);
+    const Tick end = eq_.run(limit, max_events);
     if (firstError_) {
         auto e = std::exchange(firstError_, nullptr);
         std::rethrow_exception(e);

@@ -49,10 +49,13 @@ class Sim
     std::size_t liveTasks() const { return liveTasks_; }
 
     /**
-     * Run until the event queue drains or @p limit is reached.
+     * Run until the event queue drains or @p limit is reached. When
+     * @p max_events is non-zero, additionally stop after that many
+     * events (model-checking budget for schedules that never quiesce).
+     * Rethrows the first exception any root task raised either way.
      * @return final simulated time.
      */
-    Tick run(Tick limit = kMaxTick);
+    Tick run(Tick limit = kMaxTick, std::uint64_t max_events = 0);
 
     /** Run for a further @p duration ticks. */
     Tick runFor(Tick duration) { return run(eq_.now() + duration); }

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * gmc schedule-space model checker tests: schedule string round-trips,
+ * exhaustive clean verification of the 1-shard × 1-worker configs,
+ * seeded protocol mutants (each found with a replayable
+ * counterexample), and replay determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gmc.hh"
+#include "sim/explore.hh"
+
+// Mutant explorations deliberately produce stuck runs whose suspended
+// coroutine frames are reclaimed only by process exit; waive leak
+// checking around them so the asan CI job stays green.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GMC_UNDER_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GMC_UNDER_ASAN 1
+#endif
+#ifdef GMC_UNDER_ASAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace
+{
+
+using namespace genesys;
+using core::Blocking;
+using core::Granularity;
+using core::Ordering;
+using core::WaitMode;
+using core::gmc::McConfig;
+using sim::gmc::ExploreOptions;
+using sim::gmc::ExploreResult;
+using sim::gmc::RunOutcome;
+using sim::gmc::Schedule;
+
+struct LeakWaiver
+{
+    LeakWaiver()
+    {
+#ifdef GMC_UNDER_ASAN
+        __lsan_disable();
+#endif
+    }
+    ~LeakWaiver()
+    {
+#ifdef GMC_UNDER_ASAN
+        __lsan_enable();
+#endif
+    }
+};
+
+McConfig
+baseConfig(Granularity g, WaitMode wait)
+{
+    McConfig mc;
+    mc.granularity = g;
+    mc.ordering = Ordering::Strong;
+    mc.blocking = Blocking::Blocking;
+    mc.wait = wait;
+    mc.areaShards = 1;
+    mc.workers = 1;
+    mc.groups = 1;
+    return mc;
+}
+
+// ------------------------------------------------- schedule strings
+
+TEST(GmcSchedule, RenderAndParseRoundTrip)
+{
+    EXPECT_EQ(sim::gmc::renderSchedule({}), "fifo");
+    EXPECT_EQ(sim::gmc::renderSchedule({2, 0, 1}), "2.0.1");
+
+    Schedule s;
+    EXPECT_TRUE(sim::gmc::parseSchedule("fifo", s));
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(sim::gmc::parseSchedule("", s));
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(sim::gmc::parseSchedule("2.0.1", s));
+    EXPECT_EQ(s, (Schedule{2, 0, 1}));
+    // Trailing zeros are implied FIFO choices: canonicalized away.
+    EXPECT_TRUE(sim::gmc::parseSchedule("1.0.0", s));
+    EXPECT_EQ(s, (Schedule{1}));
+
+    EXPECT_FALSE(sim::gmc::parseSchedule("1..2", s));
+    EXPECT_FALSE(sim::gmc::parseSchedule(".1", s));
+    EXPECT_FALSE(sim::gmc::parseSchedule("1.", s));
+    EXPECT_FALSE(sim::gmc::parseSchedule("1.x", s));
+    EXPECT_FALSE(sim::gmc::parseSchedule("99999999999", s));
+}
+
+TEST(GmcSchedule, ConfigNamesAreUniqueAndLookupWorks)
+{
+    const auto matrix = core::gmc::smallMatrix();
+    ASSERT_FALSE(matrix.empty());
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        for (std::size_t j = i + 1; j < matrix.size(); ++j)
+            EXPECT_NE(matrix[i].name(), matrix[j].name());
+    }
+    const McConfig *mc =
+        core::gmc::configByName(matrix, matrix.front().name());
+    ASSERT_NE(mc, nullptr);
+    EXPECT_EQ(mc->name(), matrix.front().name());
+    EXPECT_EQ(core::gmc::configByName(matrix, "no-such-config"),
+              nullptr);
+}
+
+// ------------------------------------------------ clean exploration
+
+TEST(GmcClean, FifoRunIsDeterministic)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const RunOutcome a = core::gmc::replayConfig(mc, {});
+    const RunOutcome b = core::gmc::replayConfig(mc, {});
+    EXPECT_FALSE(a.violation) << a.kind << ": " << a.detail;
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(GmcClean, WorkItemOneShardExhaustive)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkItem, WaitMode::Polling);
+    const ExploreResult r = core::gmc::exploreConfig(mc, {});
+    EXPECT_TRUE(r.stats.exhaustive);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcClean, WorkGroupOneShardExhaustive)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const ExploreResult r = core::gmc::exploreConfig(mc, {});
+    EXPECT_TRUE(r.stats.exhaustive);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcClean, WorkGroupHaltResumeExhaustive)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::HaltResume);
+    const ExploreResult r = core::gmc::exploreConfig(mc, {});
+    EXPECT_TRUE(r.stats.exhaustive);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcClean, BoundedExplorationReportsNonExhaustive)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    ExploreOptions opts;
+    opts.maxSchedules = 2;
+    const ExploreResult r = core::gmc::exploreConfig(mc, opts);
+    EXPECT_LE(r.stats.schedulesRun, 2u);
+    EXPECT_FALSE(r.stats.exhaustive);
+}
+
+// ------------------------------------------------- seeded mutants
+
+/** Explore @p mc expecting at least one violation of kind @p kind,
+ *  then re-execute the counterexample schedule twice and require the
+ *  identical outcome (replayability + determinism). */
+void
+expectMutantCaught(McConfig mc, const char *kind)
+{
+    LeakWaiver waiver;
+    ExploreOptions opts;
+    opts.maxCounterexamples = 1;
+    const ExploreResult r = core::gmc::exploreConfig(mc, opts);
+    ASSERT_FALSE(r.violations.empty())
+        << mc.name() << ": mutant not found";
+    const auto &cx = r.violations.front();
+    EXPECT_EQ(cx.outcome.kind, kind)
+        << "schedule " << sim::gmc::renderSchedule(cx.schedule) << ": "
+        << cx.outcome.detail;
+
+    const RunOutcome once = core::gmc::replayConfig(mc, cx.schedule);
+    const RunOutcome twice = core::gmc::replayConfig(mc, cx.schedule);
+    EXPECT_TRUE(once.violation);
+    EXPECT_EQ(once.kind, cx.outcome.kind);
+    EXPECT_EQ(once.kind, twice.kind);
+    EXPECT_EQ(once.detail, twice.detail);
+    EXPECT_EQ(once.endTick, twice.endTick);
+    EXPECT_EQ(once.events, twice.events);
+}
+
+TEST(GmcMutant, DoorbellBeforePublishStrandsRequest)
+{
+    // FIFO hides this bug: the publish's zero-latency continuation
+    // drains before the doorbell's multi-hop delivery. gmc must find
+    // an adversarial order that services the still-Populating slot.
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    mc.hooks.doorbellBeforePublish = true;
+
+    // First confirm FIFO really is blind to it — the whole reason a
+    // model checker is needed.
+    {
+        LeakWaiver waiver;
+        const RunOutcome fifo = core::gmc::replayConfig(mc, {});
+        EXPECT_FALSE(fifo.violation)
+            << "FIFO already catches it: " << fifo.kind;
+    }
+    expectMutantCaught(mc, "stuck");
+}
+
+TEST(GmcMutant, WakeBeforeCompleteLosesWakeup)
+{
+    McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::HaltResume);
+    mc.hooks.wakeBeforeComplete = true;
+    expectMutantCaught(mc, "stuck");
+}
+
+TEST(GmcMutant, SkipPostBarrierTripsGsan)
+{
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    mc.hooks.skipPostBarrier = true;
+    expectMutantCaught(mc, "gsan");
+}
+
+TEST(GmcPor, FootprintPorIsHeuristicNotSound)
+{
+    // The doorbell-before-publish mutant needs several dependent
+    // same-tick flips; the footprint heuristic only sees the executed
+    // window of each run and prunes the path to it. This test pins the
+    // unsoundness that keeps ExploreOptions::por off by default — if
+    // POR ever *does* find the mutant, the heuristic got stronger and
+    // the documentation (DESIGN.md §11, explore.hh) must be revisited.
+    LeakWaiver waiver;
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    mc.hooks.doorbellBeforePublish = true;
+
+    ExploreOptions exhaustive;
+    const ExploreResult full = core::gmc::exploreConfig(mc, exhaustive);
+    ASSERT_FALSE(full.violations.empty());
+
+    ExploreOptions heuristic;
+    heuristic.por = true;
+    const ExploreResult pruned =
+        core::gmc::exploreConfig(mc, heuristic);
+    EXPECT_GT(pruned.stats.branchesPruned, 0u);
+    EXPECT_LT(pruned.stats.schedulesRun, full.stats.schedulesRun);
+    EXPECT_TRUE(pruned.violations.empty())
+        << "POR now finds the doorbell mutant (schedule "
+        << sim::gmc::renderSchedule(
+               pruned.violations.front().schedule)
+        << "); update the soundness caveats before relying on it";
+}
+
+TEST(GmcReplay, OutOfRangeChoiceReportsPanic)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    // No tie point in this scenario has 1000 candidates.
+    const RunOutcome out = core::gmc::replayConfig(mc, {999});
+    EXPECT_TRUE(out.violation);
+    EXPECT_EQ(out.kind, "panic");
+}
+
+} // namespace
