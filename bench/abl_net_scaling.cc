@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Ablation: gkv TCP/epoll server scaling — client connections x
+ * syscall-area shards x workqueue workers (gnet, DESIGN.md §12).
+ *
+ * Each GPU server work-group parks in epoll_wait through a GENESYS
+ * slot; more connections mean more concurrent request streams fanned
+ * across the groups, so throughput should rise with the connection
+ * count until the server groups saturate. The shard x worker axis
+ * rides along from the service-path ablation: it bounds how much of
+ * the epoll wakeup and read/write traffic the host can service in
+ * parallel.
+ *
+ * Every run executes with the gsan happens-before sanitizer enabled.
+ * The binary exits nonzero if any run produces a report, if any run
+ * returns incorrect replies, or if no sweep point shows throughput
+ * increasing from the smallest to the largest connection count.
+ *
+ * Usage: abl_net_scaling [--quick]
+ *   --quick  two configs on small request counts (CI smoke).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include "bench/common.hh"
+#include "workloads/gkv.hh"
+
+using namespace genesys;
+using namespace genesys::bench;
+
+namespace
+{
+
+struct SweepPoint
+{
+    std::uint32_t shards;
+    std::uint32_t workers;
+};
+
+struct RunOutcome
+{
+    bool correct = false;
+    double throughputKops = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    std::uint64_t gsanReports = 0;
+};
+
+std::uint64_t g_totalGsanReports = 0;
+bool g_anyIncorrect = false;
+
+RunOutcome
+runPoint(const SweepPoint &p, std::uint32_t connections,
+         std::uint32_t requests_per_conn)
+{
+    workloads::GkvConfig cfg;
+    cfg.useGpu = true;
+    cfg.numConnections = connections;
+    cfg.requestsPerConn = requests_per_conn;
+    cfg.serverGroups = 4;
+
+    core::SystemConfig sc; // paper platform: 8 CUs, 4 CPU cores
+    sc.genesys.areaShards = p.shards;
+    // Each server group parks a blocking epoll_wait in a workqueue
+    // worker (same floor as the memcached recvfrom servers), so the
+    // sweep's worker count comes on top of that reserve.
+    sc.kernel.workqueueWorkers = p.workers + cfg.serverGroups + 2;
+    core::System sys(sc);
+    sys.gsan().setEnabled(true);
+
+    const workloads::GkvResult res = workloads::runGkv(sys, cfg);
+    RunOutcome out;
+    out.gsanReports = sys.gsan().reportCount();
+    out.correct = res.correct;
+    out.throughputKops = res.throughputKops;
+    out.p50Us = res.p50LatencyUs;
+    out.p99Us = res.p99LatencyUs;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    banner("Ablation: net scaling",
+           "gkv GPU server over TCP+epoll; connections x area shards "
+           "x workqueue workers");
+
+    const std::vector<SweepPoint> points =
+        quick ? std::vector<SweepPoint>{{1, 1}, {4, 4}}
+              : std::vector<SweepPoint>{{1, 1}, {1, 4}, {2, 4}, {4, 4}};
+    const std::vector<std::uint32_t> conns =
+        quick ? std::vector<std::uint32_t>{2, 8}
+              : std::vector<std::uint32_t>{2, 4, 8, 16};
+    const std::uint32_t requests_per_conn = quick ? 6 : 12;
+
+    TextTable t("gkv throughput (kops/s)");
+    std::vector<std::string> header = {"shards x workers"};
+    for (auto c : conns)
+        header.push_back(logging::format("conns=%u", c));
+    t.setHeader(header);
+
+    TextTable lat("gkv latency p50/p99 (us)");
+    lat.setHeader(header);
+
+    bool any_scales = false;
+    for (const auto &p : points) {
+        std::vector<std::string> row = {
+            logging::format("%u x %u", p.shards, p.workers)};
+        std::vector<std::string> lrow = row;
+        double first = 0.0, last = 0.0;
+        for (std::size_t ci = 0; ci < conns.size(); ++ci) {
+            const RunOutcome out =
+                runPoint(p, conns[ci], requests_per_conn);
+            g_totalGsanReports += out.gsanReports;
+            if (!out.correct) {
+                g_anyIncorrect = true;
+                row.push_back("FAIL");
+                lrow.push_back("FAIL");
+                continue;
+            }
+            row.push_back(logging::format("%.1f", out.throughputKops));
+            lrow.push_back(logging::format("%.1f/%.1f", out.p50Us,
+                                           out.p99Us));
+            if (ci == 0)
+                first = out.throughputKops;
+            if (ci == conns.size() - 1)
+                last = out.throughputKops;
+        }
+        t.addRow(row);
+        lat.addRow(lrow);
+        if (first > 0 && last > first) {
+            any_scales = true;
+            std::printf("  %ux%u: %u -> %u connections scales "
+                        "throughput %.2fx\n",
+                        p.shards, p.workers, conns.front(),
+                        conns.back(), last / first);
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("%s\n", lat.render().c_str());
+
+    int rc = 0;
+    if (g_anyIncorrect) {
+        std::printf("correctness: some runs returned bad replies "
+                    "-- FAIL\n");
+        rc = 1;
+    }
+    if (!any_scales) {
+        std::printf("scaling: no sweep point improved with more "
+                    "connections -- FAIL\n");
+        rc = 1;
+    } else {
+        std::printf("scaling: throughput rises with connections in "
+                    "at least one config\n");
+    }
+    if (g_totalGsanReports > 0) {
+        std::printf("gsan: %llu report(s) across the sweep -- FAIL\n",
+                    static_cast<unsigned long long>(
+                        g_totalGsanReports));
+        rc = 1;
+    } else {
+        std::printf("gsan: clean across the sweep\n");
+    }
+    return rc;
+}

@@ -47,20 +47,24 @@ main()
 
     TextTable table("Figure 15");
     table.setHeader({"elems/bucket", "server", "mean lat (us)",
-                     "p95 lat (us)", "throughput (kops)",
-                     "gpu advantage"});
+                     "p50 lat (us)", "p95 lat (us)", "p99 lat (us)",
+                     "throughput (kops)", "gpu advantage"});
     for (std::uint32_t depth : {64u, 256u, 1024u}) {
         const MemcachedResult cpu = serve(false, depth);
         const MemcachedResult gpu = serve(true, depth);
         table.addRow({logging::format("%u", depth), "cpu",
                       logging::format("%.1f", cpu.meanLatencyUs),
+                      logging::format("%.1f", cpu.p50LatencyUs),
                       logging::format("%.1f", cpu.p95LatencyUs),
+                      logging::format("%.1f", cpu.p99LatencyUs),
                       logging::format("%.1f", cpu.throughputKops),
                       ""});
         table.addRow(
             {logging::format("%u", depth), "gpu",
              logging::format("%.1f", gpu.meanLatencyUs),
+             logging::format("%.1f", gpu.p50LatencyUs),
              logging::format("%.1f", gpu.p95LatencyUs),
+             logging::format("%.1f", gpu.p99LatencyUs),
              logging::format("%.1f", gpu.throughputKops),
              logging::format("%+.0f%% lat, %+.0f%% tput",
                              100.0 * (cpu.meanLatencyUs -

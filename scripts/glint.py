@@ -25,6 +25,11 @@ Rules
                         slots (observed shared_ptr refcount underflow,
                         found by gmc's divergence oracle). Hoist the
                         lambda into a named local and std::move it.
+  sysno-classified      every syscall number declared in the sysno
+                        namespace (src/osk/syscalls.hh) must have a
+                        Table II classification row: its name must
+                        appear as a string literal in
+                        src/osk/classification.cc
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -59,6 +64,12 @@ RAW_RAND_RE = re.compile(r"\brand\s*\(\s*\)|\bsrand\s*\(|"
                          r"\brandom_device\b")
 STATE_WRITE_RE = re.compile(r"\bstate_\s*=(?!=)")
 SEND_INTERRUPT_RE = re.compile(r"\bsendInterrupt\s*\(")
+
+SYSNO_FILE = "src/osk/syscalls.hh"
+CLASSIFICATION_FILE = "src/osk/classification.cc"
+SYSNO_DECL_RE = re.compile(
+    r"\binline\s+constexpr\s+int\s+(\w+)\s*=\s*\d+\s*;")
+STRING_LITERAL_RE = re.compile(r'"(\w+)"')
 
 
 def scrub(text):
@@ -257,6 +268,29 @@ def check_file(relpath, scrubbed, unordered_names):
     return findings
 
 
+def check_sysno_classified(raw_by_path, scrubbed_by_path):
+    """Cross-file rule: every syscall number in the sysno namespace
+    needs a classification row. Declarations are matched against the
+    scrubbed header (so commented-out numbers don't count); the rows
+    live in string literals, so classification.cc is searched raw."""
+    findings = []
+    syscalls = scrubbed_by_path.get(SYSNO_FILE)
+    classification = raw_by_path.get(CLASSIFICATION_FILE)
+    if syscalls is None or classification is None:
+        return findings
+    classified = set(STRING_LITERAL_RE.findall(classification))
+    for m in SYSNO_DECL_RE.finditer(syscalls):
+        name = m.group(1)
+        if name not in classified:
+            findings.append(Finding(
+                SYSNO_FILE, line_of(syscalls, m.start()),
+                "sysno-classified",
+                "syscall 'sysno::%s' has no classification row; add "
+                'its "%s" entry to %s'
+                % (name, name, CLASSIFICATION_FILE)))
+    return findings
+
+
 def apply_allows(findings, raw_by_path):
     kept = []
     for f in findings:
@@ -281,6 +315,8 @@ def run_lint():
     findings = []
     for rel, body in scrubbed_by_path.items():
         findings.extend(check_file(rel, body, unordered_names))
+    findings.extend(
+        check_sysno_classified(raw_by_path, scrubbed_by_path))
     findings = apply_allows(findings, raw_by_path)
 
     for f in findings:
@@ -349,6 +385,31 @@ SELF_TEST_CASES = [
 ]
 
 
+# (name, syscalls.hh text, classification.cc text, expected finding
+# count for the sysno-classified cross-file rule)
+SYSNO_SELF_TEST_CASES = [
+    ("all classified",
+     "inline constexpr int read = 0;\n"
+     "inline constexpr int socket = 41;",
+     'Row rows[] = {{"read"}, {"socket"}};', 0),
+    ("missing row",
+     "inline constexpr int read = 0;\n"
+     "inline constexpr int frobnicate = 99;",
+     'Row rows[] = {{"read"}};', 1),
+    ("commented-out number ignored",
+     "// inline constexpr int ghost = 7;\n"
+     "inline constexpr int read = 0;",
+     'Row rows[] = {{"read"}};', 0),
+    ("row anywhere in the table counts",
+     "inline constexpr int epoll_wait = 232;",
+     'groups[] = {{"epoll_create", "epoll_ctl", "epoll_wait"}};', 0),
+    ("two missing rows flagged individually",
+     "inline constexpr int a_call = 1;\n"
+     "inline constexpr int b_call = 2;",
+     'Row rows[] = {{"read"}};', 2),
+]
+
+
 def run_self_test():
     failures = 0
     for name, rel, snippet, expected in SELF_TEST_CASES:
@@ -367,8 +428,19 @@ def run_self_test():
             print("self-test FAIL: %s: want %s, got %s"
                   % (name, want, rules or "clean"))
             failures += 1
+    for name, sys_text, cls_text, expected in SYSNO_SELF_TEST_CASES:
+        raw = {SYSNO_FILE: sys_text, CLASSIFICATION_FILE: cls_text}
+        scrubbed = {k: scrub(v) for k, v in raw.items()}
+        findings = check_sysno_classified(raw, scrubbed)
+        findings = apply_allows(findings, raw)
+        if len(findings) != expected:
+            print("self-test FAIL: %s: want %d finding(s), got %s"
+                  % (name, expected,
+                     sorted(f.render() for f in findings) or "clean"))
+            failures += 1
+    total = len(SELF_TEST_CASES) + len(SYSNO_SELF_TEST_CASES)
     print("glint self-test: %d case(s), %d failure(s)"
-          % (len(SELF_TEST_CASES), failures))
+          % (total, failures))
     return 1 if failures else 0
 
 

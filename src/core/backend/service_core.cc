@@ -74,14 +74,18 @@ ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
                             kernel_.params().syscallBase);
     }
     // Calls that can block indefinitely (recvfrom on an empty
-    // socket, read on an empty pipe, nanosleep) release the core
-    // — a blocked kernel thread schedules away — and re-acquire
+    // socket, read on an empty pipe, nanosleep, accept/connect on a
+    // stream, epoll_wait on idle sockets) release the core — a
+    // blocked kernel thread schedules away — and re-acquire
     // afterwards.
     const bool may_block =
         policy.releaseCoreOnBlocking &&
         (slot.sysno() == osk::sysno::recvfrom ||
          slot.sysno() == osk::sysno::read ||
-         slot.sysno() == osk::sysno::nanosleep);
+         slot.sysno() == osk::sysno::nanosleep ||
+         slot.sysno() == osk::sysno::accept ||
+         slot.sysno() == osk::sysno::connect ||
+         slot.sysno() == osk::sysno::epoll_wait);
     if (may_block)
         kernel_.cpus().releaseCore();
     const std::int64_t ret = co_await executeSlotCall(slot);

@@ -661,4 +661,85 @@ GpuSyscalls::ioctl(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
     return invokeWorkGroup(ctx, inv, osk::sysno::ioctl, args);
 }
 
+sim::Task<std::int64_t>
+GpuSyscalls::connect(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                     const osk::SockAddr *addr)
+{
+    const auto args = osk::makeArgs(fd, addr, 8);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::connect, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::connect, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::listen(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                    int backlog)
+{
+    const auto args = osk::makeArgs(fd, backlog);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::listen, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::listen, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::accept(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                    osk::SockAddr *peer)
+{
+    const auto args = osk::makeArgs(fd, peer, 8);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::accept, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::accept, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::shutdown(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                      int how)
+{
+    const auto args = osk::makeArgs(fd, how);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::shutdown, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::shutdown, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::epollCreate(gpu::WavefrontCtx &ctx, Invocation inv)
+{
+    const auto args = osk::makeArgs(1);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::epoll_create, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::epoll_create, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::epollCtl(gpu::WavefrontCtx &ctx, Invocation inv,
+                      int epfd, int op, int fd,
+                      const osk::EpollEvent *event)
+{
+    const auto args = osk::makeArgs(epfd, op, fd, event);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::epoll_ctl, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::epoll_ctl, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::epollWait(gpu::WavefrontCtx &ctx, Invocation inv,
+                       int epfd, osk::EpollEvent *events,
+                       int max_events, std::int64_t timeout_ns)
+{
+    // arg[4]: waiter hint (this wave's hardware slot) for per-shard
+    // readiness fanout accounting — the epoll slot payload layout.
+    const auto args = osk::makeArgs(epfd, events, max_events,
+                                    timeout_ns, ctx.hwWaveSlot());
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::epoll_wait, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::epoll_wait, args);
+}
+
 } // namespace genesys::core

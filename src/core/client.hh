@@ -34,6 +34,7 @@
 #include "core/params.hh"
 #include "core/slot.hh"
 #include "gpu/gpu.hh"
+#include "osk/epoll.hh"
 #include "osk/net.hh"
 #include "osk/signals.hh"
 #include "osk/syscalls.hh"
@@ -170,6 +171,32 @@ class GpuSyscalls
     sim::Task<std::int64_t> ioctl(gpu::WavefrontCtx &, Invocation,
                                   int fd, std::uint64_t request,
                                   void *argp);
+
+    // ---- gnet: stream sockets + readiness ---------------------------
+    sim::Task<std::int64_t> connect(gpu::WavefrontCtx &, Invocation,
+                                    int fd, const osk::SockAddr *addr);
+    sim::Task<std::int64_t> listen(gpu::WavefrontCtx &, Invocation,
+                                   int fd, int backlog);
+    sim::Task<std::int64_t> accept(gpu::WavefrontCtx &, Invocation,
+                                   int fd, osk::SockAddr *peer);
+    sim::Task<std::int64_t> shutdown(gpu::WavefrontCtx &, Invocation,
+                                     int fd, int how);
+    sim::Task<std::int64_t> epollCreate(gpu::WavefrontCtx &,
+                                        Invocation);
+    sim::Task<std::int64_t> epollCtl(gpu::WavefrontCtx &, Invocation,
+                                     int epfd, int op, int fd,
+                                     const osk::EpollEvent *event);
+    /**
+     * epoll_wait through a syscall slot: the slot payload carries the
+     * requester's hardware wave slot (arg[4]) so readiness wake-ups
+     * can be attributed per syscall-area shard. A blocked work-group
+     * halts/polls exactly like any other blocking call.
+     */
+    sim::Task<std::int64_t> epollWait(gpu::WavefrontCtx &, Invocation,
+                                      int epfd,
+                                      osk::EpollEvent *events,
+                                      int max_events,
+                                      std::int64_t timeout_ns);
 
     /** Attach the happens-before sanitizer (may be null). */
     void setSanitizer(gsan::Sanitizer *gsan) { gsan_ = gsan; }

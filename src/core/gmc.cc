@@ -9,6 +9,8 @@
 #include <memory>
 #include <utility>
 
+#include "osk/epoll.hh"
+#include "osk/tcp.hh"
 #include "osk/vfs.hh"
 #include "support/gmc_probe.hh"
 #include "support/logging.hh"
@@ -276,8 +278,17 @@ collapsedConfig(const McConfig &mc)
     o.contextSwitch = 0;
     o.interruptDeliver = 0;
     o.interruptHandler = 0;
-    // tmpfs/net bytes-per-sec stay nonzero (they are divisors); at
-    // 1-byte transfers they contribute zero ticks anyway.
+    o.tcpConnectBase = 0;
+    o.tcpSendBase = 0;
+    o.tcpRecvBase = 0;
+    o.tcpRtt = 0;
+    o.tcpRto = 0;
+    o.epollCtlBase = 0;
+    o.epollWaitBase = 0;
+    // tmpfs/net bytes-per-sec stay nonzero (they are divisors). TCP
+    // segments carry a 40-byte modeled header, so the wire rate must
+    // be high enough that even those round to zero ticks.
+    o.netBytesPerSec = 1e18;
 
     cfg.memBus.requestOverhead = 0;
 
@@ -401,6 +412,241 @@ scenario(const McConfig &mc)
         out.digest = digest.value();
         return out;
     };
+}
+
+namespace
+{
+
+/** Cross-actor state for the gnet echo scenario. Buffers live here
+ *  because slot payload reads/writes may outlive a wave's frame. */
+struct NetShared
+{
+    osk::SockAddr addr{1, 9200};
+    osk::EpollEvent listenEv{};
+    osk::EpollEvent connEv{};
+    osk::EpollEvent evs[4]{};
+    std::uint8_t srvBuf[64]{};
+    std::uint8_t cliBuf[8]{};
+    /// rc codes and byte counts from both sides (fds normalized).
+    std::int64_t results[8] = {kUnset, kUnset, kUnset, kUnset,
+                               kUnset, kUnset, kUnset, kUnset};
+    std::uint64_t echoed = 0;
+};
+
+/** GPU side: epoll-driven accept + echo loop on one work-group. */
+sim::Task<>
+runNetServerWave(System &sys, const McConfig mc,
+                 const std::shared_ptr<NetShared> ns, int listen_fd,
+                 gpu::WavefrontCtx &ctx)
+{
+    GpuSyscalls &api = sys.gpuSys();
+    Invocation inv;
+    inv.granularity = Granularity::WorkGroup;
+    inv.ordering = mc.ordering;
+    inv.blocking = Blocking::Blocking;
+    inv.waitMode = mc.wait;
+
+    const std::int64_t epfd = co_await api.epollCreate(ctx, inv);
+    ns->results[0] = normalizeFd(epfd);
+    ns->listenEv = osk::EpollEvent{
+        osk::EPOLLIN_, static_cast<std::uint64_t>(listen_fd)};
+    ns->results[1] = co_await api.epollCtl(
+        ctx, inv, static_cast<int>(epfd), osk::EPOLL_CTL_ADD_,
+        listen_fd, &ns->listenEv);
+    ns->results[2] = co_await api.epollWait(
+        ctx, inv, static_cast<int>(epfd), ns->evs, 4, -1);
+    const std::int64_t cfd =
+        co_await api.accept(ctx, inv, listen_fd, nullptr);
+    ns->results[3] = normalizeFd(cfd);
+    co_await api.epollCtl(ctx, inv, static_cast<int>(epfd),
+                          osk::EPOLL_CTL_DEL_, listen_fd, nullptr);
+    ns->connEv = osk::EpollEvent{osk::EPOLLIN_,
+                                 static_cast<std::uint64_t>(cfd)};
+    co_await api.epollCtl(ctx, inv, static_cast<int>(epfd),
+                          osk::EPOLL_CTL_ADD_, static_cast<int>(cfd),
+                          &ns->connEv);
+    for (;;) {
+        const std::int64_t n = co_await api.epollWait(
+            ctx, inv, static_cast<int>(epfd), ns->evs, 4, -1);
+        if (n <= 0)
+            break;
+        // The GPU libc layer completes short transfers by reissuing
+        // the read, so ask for exactly one 4-byte message — a larger
+        // count would block until the client sent more bytes.
+        const std::int64_t rn = co_await api.read(
+            ctx, inv, static_cast<int>(cfd), ns->srvBuf, 4);
+        if (rn <= 0)
+            break; // EOF: the client half-closed
+        ns->echoed += static_cast<std::uint64_t>(rn);
+        co_await api.write(ctx, inv, static_cast<int>(cfd),
+                           ns->srvBuf, static_cast<std::uint64_t>(rn));
+    }
+    co_await api.close(ctx, inv, static_cast<int>(cfd));
+    co_await api.close(ctx, inv, static_cast<int>(epfd));
+    co_await api.close(ctx, inv, listen_fd);
+}
+
+/** Host side: connect, one ping, read the echo, half-close, drain. */
+sim::Task<>
+runNetClient(System &sys, const std::shared_ptr<NetShared> ns)
+{
+    auto &tcp = sys.kernel().tcp();
+    osk::TcpSocket *c = tcp.createSocket();
+    const int cid = c->id();
+    ns->results[4] = co_await c->connect(ns->addr);
+    if (ns->results[4] != 0) {
+        tcp.closeSocket(cid);
+        co_return;
+    }
+    ns->results[5] = co_await c->write("ping", 4);
+    std::uint64_t got = 0;
+    while (got < 4) {
+        const std::int64_t rn =
+            co_await c->read(ns->cliBuf + got, 4 - got);
+        if (rn <= 0)
+            break;
+        got += static_cast<std::uint64_t>(rn);
+    }
+    ns->results[6] = static_cast<std::int64_t>(got);
+    co_await c->shutdown(osk::SHUT_WR_);
+    std::uint8_t tail = 0;
+    ns->results[7] = co_await c->read(&tail, 1); // server FIN: EOF
+    tcp.closeSocket(cid);
+}
+
+} // namespace
+
+sim::gmc::RunFn
+netScenario(const McConfig &mc)
+{
+    return [mc](sim::gmc::ScheduleDriver &driver)
+               -> sim::gmc::RunOutcome {
+        sim::gmc::RunOutcome out;
+        System sys(collapsedConfig(mc));
+        auto ns = std::make_shared<NetShared>();
+        sys.gsan().setEnabled(true);
+
+        // The listener is set up to completion under FIFO order before
+        // the tie-breaker is installed, so every schedule starts from
+        // the same bound socket (and the client never races listen()).
+        std::int64_t listen_fd = -1;
+        sys.sim().spawn([](System &s, const std::shared_ptr<NetShared> sh,
+                           std::int64_t &fd_out) -> sim::Task<> {
+            fd_out = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::socket, osk::makeArgs(2, 1, 0));
+            co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::bind,
+                osk::makeArgs(fd_out, &sh->addr, 8));
+            co_await s.kernel().doSyscall(s.process(),
+                                          osk::sysno::listen,
+                                          osk::makeArgs(fd_out, 4));
+        }(sys, ns, listen_fd));
+        sys.run();
+
+        sys.sim().events().setTieBreaker(&driver);
+        const std::size_t idleTasks = sys.sim().liveTasks();
+
+        const std::uint32_t waveSize = sys.config().gpu.wavefrontSize;
+        gpu::KernelLaunch launch;
+        launch.workItems = waveSize;
+        launch.wgSize = waveSize;
+        const int lfd = static_cast<int>(listen_fd);
+        launch.program = [&sys, mc, ns,
+                          lfd](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+            return runNetServerWave(sys, mc, ns, lfd, ctx);
+        };
+        sys.launchGpuAndDrain(std::move(launch));
+        sys.sim().spawn(runNetClient(sys, ns));
+
+        auto &probe = genesys::gmc::Probe::instance();
+        probe.setEnabled(true);
+        (void)probe.drain(); // discard pre-run (deterministic) touches
+
+        bool panicked = false;
+        std::string what;
+        try {
+            sys.run(kHorizon, kMaxEventsPerRun);
+        } catch (const std::exception &e) {
+            panicked = true;
+            what = e.what();
+        }
+        probe.setEnabled(false);
+        sys.sim().events().setTieBreaker(nullptr);
+
+        out.endTick = sys.sim().now();
+        out.events = sys.sim().events().executedEvents();
+
+        if (panicked) {
+            out.violation = true;
+            out.kind = "panic";
+            out.detail = what;
+            return out;
+        }
+        if (!sys.sim().events().empty()) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "net run exceeded its budget (%llu events, tick "
+                "%llu): livelock or starvation",
+                static_cast<unsigned long long>(out.events),
+                static_cast<unsigned long long>(out.endTick));
+            return out;
+        }
+        if (sys.sim().liveTasks() > idleTasks) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "%zu task(s) beyond the %zu idle service loops still "
+                "suspended with a drained event queue: lost epoll "
+                "wakeup or deadlock",
+                sys.sim().liveTasks() - idleTasks, idleTasks);
+            return out;
+        }
+        if (sys.gsan().reportCount() != 0) {
+            out.violation = true;
+            out.kind = "gsan";
+            out.detail = sys.gsan().renderReports();
+            return out;
+        }
+        for (std::uint32_t s = 0; s < sys.syscallArea().shardCount();
+             ++s) {
+            if (!sys.syscallArea().quiescent(s)) {
+                out.violation = true;
+                out.kind = "quiescence";
+                out.detail = format(
+                    "shard %u has non-Free slots after drain", s);
+                return out;
+            }
+        }
+
+        // Connect-retry style counters (segs sent, refused) are
+        // schedule-dependent in general; the digest keeps the
+        // schedule-invariant outcome: every rc, the echoed bytes, and
+        // the rendezvous counts.
+        Fnv1a digest;
+        for (std::int64_t r : ns->results)
+            digest.mix(static_cast<std::uint64_t>(r));
+        for (std::uint64_t i = 0; i < 4; ++i)
+            digest.mix(ns->cliBuf[i]);
+        digest.mix(ns->echoed);
+        digest.mix(sys.kernel().tcp().counters().connects);
+        digest.mix(sys.kernel().tcp().counters().accepts);
+        out.digest = digest.value();
+        return out;
+    };
+}
+
+sim::gmc::ExploreResult
+exploreNetConfig(const McConfig &mc,
+                 const sim::gmc::ExploreOptions &opts)
+{
+    return sim::gmc::explore(netScenario(mc), opts);
+}
+
+sim::gmc::RunOutcome
+replayNetConfig(const McConfig &mc, const sim::gmc::Schedule &schedule)
+{
+    return sim::gmc::replay(netScenario(mc), schedule);
 }
 
 sim::gmc::ExploreResult

@@ -90,6 +90,25 @@ sim::gmc::ExploreResult exploreConfig(const McConfig &mc,
 sim::gmc::RunOutcome replayConfig(const McConfig &mc,
                                   const sim::gmc::Schedule &schedule);
 
+/**
+ * Timing-collapsed gnet scenario: a host TCP client against a GPU
+ * epoll echo server (epoll_create/ctl/wait, accept, read, write all
+ * through syscall slots). The checked config's ordering and wait mode
+ * shape the server's invocations; the oracles are the same as
+ * scenario()'s, so lost epoll wakeups and wake/halt races surface as
+ * "stuck" and gsan violations.
+ */
+sim::gmc::RunFn netScenario(const McConfig &mc);
+
+/** explore() over this config's netScenario. */
+sim::gmc::ExploreResult
+exploreNetConfig(const McConfig &mc,
+                 const sim::gmc::ExploreOptions &opts);
+
+/** Re-execute one schedule of this config's netScenario. */
+sim::gmc::RunOutcome replayNetConfig(const McConfig &mc,
+                                     const sim::gmc::Schedule &schedule);
+
 } // namespace genesys::core::gmc
 
 #endif // GENESYS_CORE_GMC_HH

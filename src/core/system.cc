@@ -35,8 +35,27 @@ System::System(const SystemConfig &config)
     area_->attachSanitizer(gsan_.get());
     host_->setSanitizer(gsan_.get());
     client_->setSanitizer(gsan_.get());
+    kernel_->epoll().setSanitizer(gsan_.get());
+
+    // Readiness wake fanout accounting: map each woken GPU waiter
+    // (cookie = hardware wave slot) to its syscall-area shard. Host
+    // waiters carry kEpollHostWaiter and are not shard-attributed.
+    epollShardWakes_ = std::make_shared<std::vector<std::uint64_t>>(
+        area_->shardCount(), 0);
+    SyscallArea *ap = area_.get();
+    std::shared_ptr<std::vector<std::uint64_t>> wakes = epollShardWakes_;
+    kernel_->epoll().setWakeObserver([ap, wakes](std::uint64_t cookie) {
+        if (cookie == osk::kEpollHostWaiter)
+            return;
+        const std::uint32_t shard =
+            ap->shardOfWave(static_cast<std::uint32_t>(cookie));
+        if (shard < wakes->size())
+            ++(*wakes)[shard];
+    });
+
     installGsanSysfs();
     installShardSysfs();
+    installNetSysfs();
 
     // GENESYS_GSAN=1 turns the sanitizer on for a whole test/bench
     // run without touching code (the gsan-enabled CI job uses this).
@@ -144,6 +163,74 @@ System::installShardSysfs()
        [wq] { return wq->spills(); });
 }
 
+void
+System::installNetSysfs()
+{
+    // gnet counter surface (DESIGN.md §12): UDP delivery/drop, TCP
+    // wire/backpressure, and epoll wait/wake statistics, plus the
+    // per-shard readiness-wake fanout next to the shard dirs above.
+    auto ro = [this](const std::string &path,
+                     std::function<std::uint64_t()> read) {
+        kernel_->vfs().install(
+            path, std::make_shared<osk::SysfsFile>(
+                      std::move(read),
+                      [](std::uint64_t) { return false; }));
+    };
+    osk::UdpStack *udp = &kernel_->udp();
+    osk::TcpStack *tcp = &kernel_->tcp();
+    osk::EpollSystem *ep = &kernel_->epoll();
+
+    ro("/sys/genesys/net/udp/delivered",
+       [udp] { return udp->deliveredDatagrams(); });
+    ro("/sys/genesys/net/udp/unroutable",
+       [udp] { return udp->unroutable(); });
+    ro("/sys/genesys/net/udp/dropped", [udp] { return udp->dropped(); });
+
+    ro("/sys/genesys/net/tcp/segs_sent",
+       [tcp] { return tcp->counters().segsSent; });
+    ro("/sys/genesys/net/tcp/segs_lost",
+       [tcp] { return tcp->counters().segsLost; });
+    ro("/sys/genesys/net/tcp/retransmits",
+       [tcp] { return tcp->counters().retransmits; });
+    ro("/sys/genesys/net/tcp/backpressure_stalls",
+       [tcp] { return tcp->counters().backpressureStalls; });
+    ro("/sys/genesys/net/tcp/accepts",
+       [tcp] { return tcp->counters().accepts; });
+    ro("/sys/genesys/net/tcp/connects",
+       [tcp] { return tcp->counters().connects; });
+    ro("/sys/genesys/net/tcp/refused",
+       [tcp] { return tcp->counters().refused; });
+    ro("/sys/genesys/net/tcp/resets",
+       [tcp] { return tcp->counters().resets; });
+
+    // The loss-rate knob is writable (tests and the ablation sweep set
+    // it from simulated code, mirroring the fault-injection knobs).
+    kernel_->vfs().install(
+        "/sys/genesys/net/tcp/loss_ppm",
+        std::make_shared<osk::SysfsFile>(
+            [tcp] { return std::uint64_t(tcp->lossPpm()); },
+            [tcp](std::uint64_t v) {
+                if (v > 1000000)
+                    return false;
+                tcp->setLossPpm(static_cast<std::uint32_t>(v));
+                return true;
+            }));
+
+    ro("/sys/genesys/net/epoll/waits", [ep] { return ep->waits(); });
+    ro("/sys/genesys/net/epoll/wakeups",
+       [ep] { return ep->wakeups(); });
+    ro("/sys/genesys/net/epoll/notifies",
+       [ep] { return ep->notifies(); });
+    ro("/sys/genesys/net/epoll/timeouts",
+       [ep] { return ep->timeouts(); });
+    std::shared_ptr<std::vector<std::uint64_t>> wakes = epollShardWakes_;
+    for (std::uint32_t s = 0; s < area_->shardCount(); ++s) {
+        ro(logging::format("/sys/genesys/net/epoll/shards/%u/wakeups",
+                           s),
+           [wakes, s] { return (*wakes)[s]; });
+    }
+}
+
 sim::Task<>
 System::launchDrainTask(gpu::KernelLaunch launch)
 {
@@ -196,6 +283,25 @@ System::statsReport() const
          static_cast<double>(
              gsan_->countOf(gsan::ReportKind::LostWakeup)));
     line("gsan.threads", static_cast<double>(gsan_->threadCount()));
+    line("net.udp_delivered",
+         static_cast<double>(kernel_->udp().deliveredDatagrams()));
+    line("net.udp_dropped",
+         static_cast<double>(kernel_->udp().dropped()));
+    line("net.tcp_segs_sent",
+         static_cast<double>(kernel_->tcp().counters().segsSent));
+    line("net.tcp_retransmits",
+         static_cast<double>(kernel_->tcp().counters().retransmits));
+    line("net.tcp_backpressure_stalls",
+         static_cast<double>(
+             kernel_->tcp().counters().backpressureStalls));
+    line("net.tcp_resets",
+         static_cast<double>(kernel_->tcp().counters().resets));
+    line("net.epoll_waits",
+         static_cast<double>(kernel_->epoll().waits()));
+    line("net.epoll_wakeups",
+         static_cast<double>(kernel_->epoll().wakeups()));
+    line("net.epoll_notifies",
+         static_cast<double>(kernel_->epoll().notifies()));
     line("mem.gpu_bytes",
          static_cast<double>(memBus_->bytesMoved("gpu")));
     line("mem.cpu_bytes",

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/client.hh"
 #include "core/host.hh"
@@ -101,6 +102,7 @@ class System
     sim::Task<> launchDrainTask(gpu::KernelLaunch launch);
     void installGsanSysfs();
     void installShardSysfs();
+    void installNetSysfs();
 
     SystemConfig config_;
     std::unique_ptr<sim::Sim> sim_;
@@ -112,6 +114,8 @@ class System
     std::unique_ptr<GenesysHost> host_;
     std::unique_ptr<GpuSyscalls> client_;
     std::unique_ptr<gsan::Sanitizer> gsan_;
+    /// Per-shard epoll wake fanout (heap-stable: observer captures it).
+    std::shared_ptr<std::vector<std::uint64_t>> epollShardWakes_;
 };
 
 } // namespace genesys::core

@@ -46,8 +46,12 @@ struct OpenFile
     std::string path;
     /** Snapshot for /proc files (content generated at open). */
     std::string procSnapshot;
-    /** Socket descriptor index when this fd is a socket (-1 if not). */
+    /** UDP socket index when this fd is a datagram socket (-1 if not). */
     int socketId = -1;
+    /** TCP socket index when this fd is a stream socket (-1 if not). */
+    int tcpId = -1;
+    /** Epoll instance index when this fd is an epoll fd (-1 if not). */
+    int epollId = -1;
 
     bool readable() const
     {

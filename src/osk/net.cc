@@ -74,10 +74,13 @@ UdpSocket::enqueue(Datagram dgram)
 {
     if (rx_.size() >= kMaxQueue) {
         ++dropped_;
+        ++stack_.dropped_;
         return;
     }
     rx_.push_back(std::move(dgram));
     rxWait_->notifyOne();
+    if (stack_.readyCb_)
+        stack_.readyCb_(id_);
 }
 
 UdpSocket *

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -121,17 +122,31 @@ class UdpStack
 
     std::uint64_t deliveredDatagrams() const { return delivered_; }
     std::uint64_t unroutable() const { return unroutable_; }
+    /** Datagrams dropped on receive-queue overflow, stack-wide
+     *  (survives socket close, unlike UdpSocket::dropped()). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Readiness observer: called with a socket id whenever a datagram
+     * lands on that socket (the epoll layer wakes waiters off it).
+     */
+    void setReadyCallback(std::function<void(int)> cb)
+    {
+        readyCb_ = std::move(cb);
+    }
 
   private:
     friend class UdpSocket;
 
     sim::EventQueue &eq_;
     const OskParams &params_;
+    std::function<void(int)> readyCb_;
     std::map<int, std::unique_ptr<UdpSocket>> sockets_;
     std::map<SockAddr, int> bound_;
     int nextId_ = 1;
     std::uint64_t delivered_ = 0;
     std::uint64_t unroutable_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace genesys::osk

@@ -12,6 +12,8 @@
 #ifndef GENESYS_OSK_PARAMS_HH
 #define GENESYS_OSK_PARAMS_HH
 
+#include <cstdint>
+
 #include "support/types.hh"
 
 namespace genesys::osk
@@ -48,6 +50,24 @@ struct OskParams
     Tick udpSendBase = ticks::us(3);
     Tick udpRecvBase = ticks::us(2);
     double netBytesPerSec = 1.2e9; ///< on-host/loopback path.
+
+    // --- TCP (gnet) --------------------------------------------------
+    Tick tcpConnectBase = ticks::us(5); ///< kernel-side handshake work.
+    Tick tcpSendBase = ticks::us(3);    ///< per-write kernel path.
+    Tick tcpRecvBase = ticks::us(2);    ///< per-read kernel path.
+    Tick tcpRtt = ticks::us(30);        ///< modeled link round-trip.
+    Tick tcpRto = ticks::us(200);       ///< retransmit timeout.
+    /// Per-segment loss probability in parts per million.
+    std::uint32_t tcpLossPpm = 0;
+    std::uint32_t tcpMss = 1460;          ///< max segment size, bytes.
+    std::uint32_t tcpWindowBytes = 16384; ///< receive buffer bound.
+    /// Retransmit attempts per segment before the connection resets.
+    std::uint32_t tcpMaxAttempts = 8;
+    std::uint32_t tcpAcceptBacklog = 128; ///< default listen backlog.
+
+    // --- epoll (gnet readiness) --------------------------------------
+    Tick epollCtlBase = ticks::ns(800);
+    Tick epollWaitBase = ticks::us(1);
 
     // --- signals -------------------------------------------------------
     Tick signalQueue = ticks::us(2);   ///< rt_sigqueueinfo enqueue.

@@ -20,6 +20,8 @@ Process::Process(Kernel &kernel, int pid, std::uint64_t phys_limit_bytes)
 
 Kernel::Kernel(sim::Sim &sim, const KernelConfig &config)
     : sim_(sim), config_(config), udp_(sim.events(), config_.params),
+      tcp_(sim.events(), config_.params),
+      epoll_(sim.events(), config_.params, udp_, tcp_),
       cpus_(sim, config.cpuCores),
       workqueue_(sim, cpus_, config_.params, config.workqueueWorkers),
       ssd_(sim.events(), config.ssd)

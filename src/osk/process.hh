@@ -19,10 +19,12 @@
 
 #include "osk/block_device.hh"
 #include "osk/devices.hh"
+#include "osk/epoll.hh"
 #include "osk/fault.hh"
 #include "osk/file.hh"
 #include "osk/mm.hh"
 #include "osk/net.hh"
+#include "osk/tcp.hh"
 #include "osk/params.hh"
 #include "osk/signals.hh"
 #include "osk/syscalls.hh"
@@ -79,6 +81,8 @@ class Kernel
 
     Vfs &vfs() { return vfs_; }
     UdpStack &udp() { return udp_; }
+    TcpStack &tcp() { return tcp_; }
+    EpollSystem &epoll() { return epoll_; }
     CpuCluster &cpus() { return cpus_; }
     WorkQueue &workqueue() { return workqueue_; }
     BlockDevice &ssd() { return ssd_; }
@@ -124,6 +128,8 @@ class Kernel
     KernelConfig config_;
     Vfs vfs_;
     UdpStack udp_;
+    TcpStack tcp_;
+    EpollSystem epoll_;
     CpuCluster cpus_;
     WorkQueue workqueue_;
     BlockDevice ssd_;

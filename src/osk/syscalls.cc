@@ -18,11 +18,13 @@
 
 #include "osk/block_device.hh"
 #include "osk/devices.hh"
+#include "osk/epoll.hh"
 #include "osk/fault.hh"
 #include "osk/file.hh"
 #include "osk/mm.hh"
 #include "osk/net.hh"
 #include "osk/pipe.hh"
+#include "osk/tcp.hh"
 #include "osk/process.hh"
 #include "osk/signals.hh"
 #include "osk/vfs.hh"
@@ -75,8 +77,16 @@ sysClose(Kernel &k, Process &p, const SyscallArgs &args)
     OpenFile *file = p.fds().get(fd);
     if (file == nullptr)
         co_return -EBADF;
-    if (file->socketId >= 0)
+    if (file->socketId >= 0) {
+        k.epoll().forgetSocket(SockKind::Udp, file->socketId);
         k.udp().closeSocket(file->socketId);
+    }
+    if (file->tcpId >= 0) {
+        k.epoll().forgetSocket(SockKind::Tcp, file->tcpId);
+        k.tcp().closeSocket(file->tcpId);
+    }
+    if (file->epollId >= 0)
+        k.epoll().close(file->epollId);
     if (file->inode != nullptr &&
         file->inode->type() == InodeType::Pipe) {
         auto *pipe = static_cast<PipeInode *>(file->inode);
@@ -99,6 +109,15 @@ doRead(Kernel &k, Process &p, int fd, void *buf, std::uint64_t count,
         co_return -EBADF;
     if (!file->readable())
         co_return -EBADF;
+    if (file->tcpId >= 0) {
+        if (pos_override >= 0)
+            co_return -ESPIPE; // streams are not seekable
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpRecvBase);
+        co_return co_await sock->read(buf, count);
+    }
     const std::uint64_t pos =
         pos_override >= 0 ? static_cast<std::uint64_t>(pos_override)
                           : file->pos;
@@ -157,6 +176,15 @@ doWrite(Kernel &k, Process &p, int fd, const void *buf,
         co_return -EBADF;
     if (!file->writable())
         co_return -EBADF;
+    if (file->tcpId >= 0) {
+        if (pos_override >= 0)
+            co_return -ESPIPE;
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpSendBase);
+        co_return co_await sock->write(buf, count);
+    }
     std::uint64_t pos =
         pos_override >= 0 ? static_cast<std::uint64_t>(pos_override)
                           : file->pos;
@@ -331,18 +359,30 @@ sysRtSigqueueinfo(Kernel &k, Process &p, const SyscallArgs &args)
     co_return target.signals().queueInfo(payload);
 }
 
-sim::Task<std::int64_t>
-sysSocket(Kernel &k, Process &p, const SyscallArgs &)
+// socket(2) type values (match Linux).
+inline constexpr int SOCK_STREAM_ = 1;
+
+/** Hidden inode shared by every socket/epoll fd: sockets have no path;
+ *  the NullDevice sink keeps the generic fd plumbing uniform. */
+Inode *
+socketInode()
 {
+    static NullDevice socket_inode;
+    return &socket_inode;
+}
+
+sim::Task<std::int64_t>
+sysSocket(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int type = args.as<int>(1);
     co_await sim::Delay(k.sim().events(), k.params().udpSendBase);
-    UdpSocket *sock = k.udp().createSocket();
     auto file = std::make_shared<OpenFile>();
     file->flags = O_RDWR;
-    file->socketId = sock->id();
-    // Sockets have no inode; give them a hidden char device sink so the
-    // generic fd plumbing stays uniform.
-    static NullDevice socket_inode;
-    file->inode = &socket_inode;
+    file->inode = socketInode();
+    if (type == SOCK_STREAM_)
+        file->tcpId = k.tcp().createSocket()->id();
+    else
+        file->socketId = k.udp().createSocket()->id();
     co_return p.fds().allocate(std::move(file));
 }
 
@@ -353,11 +393,136 @@ sysBind(Kernel &k, Process &p, const SyscallArgs &args)
     const auto *addr = args.ptr<const SockAddr>(1);
     co_await sim::Delay(k.sim().events(), k.params().udpRecvBase);
     OpenFile *file = p.fds().get(fd);
-    if (file == nullptr || file->socketId < 0)
+    if (file == nullptr ||
+        (file->socketId < 0 && file->tcpId < 0))
         co_return -EBADF;
     if (addr == nullptr)
         co_return -EFAULT;
+    if (file->tcpId >= 0)
+        co_return k.tcp().socket(file->tcpId)->bind(*addr);
     co_return k.udp().socket(file->socketId)->bind(*addr);
+}
+
+sim::Task<std::int64_t>
+sysConnect(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const auto *addr = args.ptr<const SockAddr>(1);
+    co_await sim::Delay(k.sim().events(), k.params().tcpConnectBase);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || file->tcpId < 0)
+        co_return -EBADF;
+    if (addr == nullptr)
+        co_return -EFAULT;
+    co_return co_await k.tcp().socket(file->tcpId)->connect(*addr);
+}
+
+sim::Task<std::int64_t>
+sysListen(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const int backlog = args.as<int>(1);
+    co_await sim::Delay(k.sim().events(), k.params().udpRecvBase);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || file->tcpId < 0)
+        co_return -EBADF;
+    co_return k.tcp().socket(file->tcpId)->listen(backlog);
+}
+
+sim::Task<std::int64_t>
+sysAccept(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    auto *peer_out = args.ptr<SockAddr>(1);
+    co_await sim::Delay(k.sim().events(), k.params().tcpConnectBase);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || file->tcpId < 0)
+        co_return -EBADF;
+    const int sid = co_await k.tcp().socket(file->tcpId)->accept();
+    if (sid < 0)
+        co_return sid;
+    auto conn = std::make_shared<OpenFile>();
+    conn->flags = O_RDWR;
+    conn->inode = socketInode();
+    conn->tcpId = sid;
+    if (peer_out != nullptr)
+        *peer_out = k.tcp().socket(sid)->peer();
+    co_return p.fds().allocate(std::move(conn));
+}
+
+sim::Task<std::int64_t>
+sysShutdown(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const int how = args.as<int>(1);
+    co_await sim::Delay(k.sim().events(), k.params().tcpSendBase);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || file->tcpId < 0)
+        co_return -EBADF;
+    co_return co_await k.tcp().socket(file->tcpId)->shutdown(how);
+}
+
+sim::Task<std::int64_t>
+sysEpollCreate(Kernel &k, Process &p, const SyscallArgs &)
+{
+    co_await sim::Delay(k.sim().events(), k.params().epollCtlBase);
+    auto file = std::make_shared<OpenFile>();
+    file->flags = O_RDWR;
+    file->inode = socketInode();
+    file->epollId = k.epoll().create();
+    co_return p.fds().allocate(std::move(file));
+}
+
+sim::Task<std::int64_t>
+sysEpollCtl(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int epfd = args.as<int>(0);
+    const int op = args.as<int>(1);
+    const int fd = args.as<int>(2);
+    const auto *event = args.ptr<const EpollEvent>(3);
+    co_await sim::Delay(k.sim().events(), k.params().epollCtlBase);
+    OpenFile *efile = p.fds().get(epfd);
+    if (efile == nullptr || efile->epollId < 0)
+        co_return -EBADF;
+    EpollInstance *inst = k.epoll().instance(efile->epollId);
+    if (inst == nullptr)
+        co_return -EBADF;
+    OpenFile *target = p.fds().get(fd);
+    if (target == nullptr)
+        co_return -EBADF;
+    if (target->socketId < 0 && target->tcpId < 0)
+        co_return -EPERM; // only sockets are pollable here
+    if (event == nullptr && op != EPOLL_CTL_DEL_)
+        co_return -EFAULT;
+    const SockKind kind =
+        target->tcpId >= 0 ? SockKind::Tcp : SockKind::Udp;
+    const int sock_id =
+        target->tcpId >= 0 ? target->tcpId : target->socketId;
+    co_return inst->ctl(op, fd, kind, sock_id,
+                        event != nullptr ? event->events : 0,
+                        event != nullptr ? event->data : 0);
+}
+
+sim::Task<std::int64_t>
+sysEpollWait(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int epfd = args.as<int>(0);
+    auto *events = args.ptr<EpollEvent>(1);
+    const int max_events = args.as<int>(2);
+    const auto timeout_ns = args.as<std::int64_t>(3);
+    // Slot payload extension: the requester's hardware wave slot rides
+    // in arg[4] so readiness wake-ups can be attributed to a
+    // syscall-area shard (kEpollHostWaiter for CPU-side callers).
+    const std::uint64_t waiter = args.a[4];
+    co_await sim::Delay(k.sim().events(), k.params().epollWaitBase);
+    OpenFile *efile = p.fds().get(epfd);
+    if (efile == nullptr || efile->epollId < 0)
+        co_return -EBADF;
+    EpollInstance *inst = k.epoll().instance(efile->epollId);
+    if (inst == nullptr)
+        co_return -EBADF;
+    co_return co_await inst->wait(events, max_events, timeout_ns,
+                                  waiter);
 }
 
 sim::Task<std::int64_t>
@@ -368,7 +533,17 @@ sysSendto(Kernel &k, Process &p, const SyscallArgs &args)
     const std::uint64_t len = args.a[2];
     const auto *dest = args.ptr<const SockAddr>(4);
     OpenFile *file = p.fds().get(fd);
-    if (file == nullptr || file->socketId < 0)
+    if (file == nullptr)
+        co_return -EBADF;
+    if (file->tcpId >= 0) {
+        // sendto on a connected stream: the address is ignored.
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpSendBase);
+        co_return co_await sock->write(buf, len);
+    }
+    if (file->socketId < 0)
         co_return -EBADF;
     if (buf == nullptr || dest == nullptr)
         co_return -EFAULT;
@@ -386,7 +561,18 @@ sysRecvfrom(Kernel &k, Process &p, const SyscallArgs &args)
     const std::uint64_t len = args.a[2];
     auto *src = args.ptr<SockAddr>(4);
     OpenFile *file = p.fds().get(fd);
-    if (file == nullptr || file->socketId < 0)
+    if (file == nullptr)
+        co_return -EBADF;
+    if (file->tcpId >= 0) {
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpRecvBase);
+        if (src != nullptr)
+            *src = sock->peer();
+        co_return co_await sock->read(buf, len);
+    }
+    if (file->socketId < 0)
         co_return -EBADF;
     Datagram dgram =
         co_await k.udp().socket(file->socketId)->recvFrom(len);
@@ -581,9 +767,16 @@ SyscallTable::SyscallTable()
     install(sysno::pwrite64, "pwrite64", sysPwrite);
     install(sysno::madvise, "madvise", sysMadvise);
     install(sysno::socket, "socket", sysSocket);
+    install(sysno::connect, "connect", sysConnect);
+    install(sysno::accept, "accept", sysAccept);
     install(sysno::sendto, "sendto", sysSendto);
     install(sysno::recvfrom, "recvfrom", sysRecvfrom);
+    install(sysno::shutdown, "shutdown", sysShutdown);
     install(sysno::bind, "bind", sysBind);
+    install(sysno::listen, "listen", sysListen);
+    install(sysno::epoll_create, "epoll_create", sysEpollCreate);
+    install(sysno::epoll_wait, "epoll_wait", sysEpollWait);
+    install(sysno::epoll_ctl, "epoll_ctl", sysEpollCtl);
     install(sysno::getrusage, "getrusage", sysGetrusage);
     install(sysno::pipe, "pipe", sysPipe);
     install(sysno::dup, "dup", sysDup);

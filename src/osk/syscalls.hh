@@ -52,13 +52,20 @@ inline constexpr int dup2 = 33;
 inline constexpr int nanosleep = 35;
 inline constexpr int getpid = 39;
 inline constexpr int socket = 41;
+inline constexpr int connect = 42;
+inline constexpr int accept = 43;
 inline constexpr int sendto = 44;
 inline constexpr int recvfrom = 45;
+inline constexpr int shutdown = 48;
 inline constexpr int bind = 49;
+inline constexpr int listen = 50;
 inline constexpr int ftruncate = 77;
 inline constexpr int unlink = 87;
 inline constexpr int getrusage = 98;
 inline constexpr int rt_sigqueueinfo = 129;
+inline constexpr int epoll_create = 213;
+inline constexpr int epoll_wait = 232;
+inline constexpr int epoll_ctl = 233;
 
 } // namespace sysno
 

@@ -180,6 +180,7 @@ Sanitizer::reset()
     interruptChannel_.clear();
     wakeChannel_.clear();
     droppedWakes_.clear();
+    epollChannels_.clear();
     reports_.clear();
     totalReports_ = 0;
     for (auto &n : byKind_)
@@ -364,6 +365,68 @@ Sanitizer::resumeDropped(std::uint32_t hw_wave_slot)
     // observe the result (by polling), the edge is real.
     if (actor_ != kNoThread) {
         join(wakeChannel_[hw_wave_slot], thread(actor_).clock);
+        tick(actor_);
+    }
+}
+
+// ---- epoll readiness channel -------------------------------------------
+
+void
+Sanitizer::epollCheck(std::uint64_t key, std::uint64_t waiter)
+{
+    if (!enabled_)
+        return;
+    EpollChannel &ch = epollChannels_[key];
+    ch.seen[waiter] = ch.seq;
+}
+
+void
+Sanitizer::epollSleep(std::uint64_t key, std::uint64_t waiter)
+{
+    if (!enabled_)
+        return;
+    EpollChannel &ch = epollChannels_[key];
+    auto it = ch.seen.find(waiter);
+    if (it == ch.seen.end())
+        return; // sleep without a recorded check: nothing to compare
+    if (ch.seq != it->second) {
+        report(ReportKind::LostWakeup,
+               format("epoll instance %llu: waiter %llu sleeps after "
+                      "%llu readiness notification(s) (last from %s) "
+                      "fired inside its check-then-sleep window; the "
+                      "level-triggered wait would block forever",
+                      static_cast<unsigned long long>(key),
+                      static_cast<unsigned long long>(waiter),
+                      static_cast<unsigned long long>(ch.seq -
+                                                      it->second),
+                      ch.lastNotifier.empty() ? "?"
+                                              : ch.lastNotifier.c_str()));
+        it->second = ch.seq; // one report per missed window
+    }
+}
+
+void
+Sanitizer::epollWake(std::uint64_t key, std::uint64_t waiter)
+{
+    if (!enabled_)
+        return;
+    EpollChannel &ch = epollChannels_[key];
+    ch.seen.erase(waiter);
+    if (actor_ != kNoThread)
+        join(thread(actor_).clock, ch.clock);
+}
+
+void
+Sanitizer::epollNotify(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    EpollChannel &ch = epollChannels_[key];
+    ++ch.seq;
+    ch.lastNotifier =
+        actor_ == kNoThread ? std::string("?") : threadName(actor_);
+    if (actor_ != kNoThread) {
+        join(ch.clock, thread(actor_).clock);
         tick(actor_);
     }
 }

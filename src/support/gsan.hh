@@ -152,6 +152,24 @@ class Sanitizer
     /** A wake message found the wave not halted and was dropped. */
     void resumeDropped(std::uint32_t hw_wave_slot);
 
+    // ---- epoll readiness channel (lost-wakeup detection) ----------
+    /**
+     * Waiter @p waiter probed epoll instance @p key and found nothing
+     * ready. Records the channel's notification sequence so a sleep
+     * across a later notification is detectable.
+     */
+    void epollCheck(std::uint64_t key, std::uint64_t waiter);
+    /**
+     * Waiter is about to block on instance @p key. If the channel's
+     * sequence advanced since its epollCheck, the readiness event
+     * landed in the check-then-sleep window and the wake is lost.
+     */
+    void epollSleep(std::uint64_t key, std::uint64_t waiter);
+    /** Waiter woke from its epoll sleep (acquires the channel). */
+    void epollWake(std::uint64_t key, std::uint64_t waiter);
+    /** A readiness event fired on instance @p key (sender = actor). */
+    void epollNotify(std::uint64_t key);
+
     // ---- ordering contract (work-group granularity) ---------------
     void invocationBegin(ThreadId t, bool need_pre_barrier, int sysno,
                          const char *ordering);
@@ -231,6 +249,16 @@ class Sanitizer
         std::string lastSender;
     };
     std::unordered_map<std::uint32_t, DroppedWake> droppedWakes_;
+    struct EpollChannel
+    {
+        Clock clock;
+        std::uint64_t seq = 0; ///< notifications so far.
+        std::string lastNotifier;
+        /// Sequence last observed by each waiter's epollCheck
+        /// (std::map: deterministic order).
+        std::map<std::uint64_t, std::uint64_t> seen;
+    };
+    std::unordered_map<std::uint64_t, EpollChannel> epollChannels_;
 
     std::vector<Report> reports_;
     std::uint64_t totalReports_ = 0;

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * gkv: a GPU-resident key-value server over TCP + epoll (gnet).
+ *
+ * The stream-socket analogue of the UDP memcached study: each server
+ * work-group owns a listening socket and an epoll instance, and runs
+ * an accept/read/reply loop entirely from a persistent GPU kernel —
+ * epoll_wait, accept, read, and write all travel through GENESYS
+ * syscall slots, so a quiet server work-group halts in epoll_wait and
+ * is resumed by the normal doorbell machinery when a connection or a
+ * request arrives. A host-side load generator drives it over the
+ * modeled wire with a configurable connection count, GET/SET mix, and
+ * per-request think time.
+ *
+ * The same server logic runs on CPU threads (useGpu = false) for the
+ * fig15-style comparison.
+ */
+
+#ifndef GENESYS_WORKLOADS_GKV_HH
+#define GENESYS_WORKLOADS_GKV_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/system.hh"
+#include "support/stats.hh"
+
+namespace genesys::workloads
+{
+
+/** Binary wire ops (one per fixed-size frame). */
+enum class GkvOp : std::uint32_t
+{
+    Get = 1,
+    Set = 2,
+    Reply = 3,
+    Miss = 4,
+};
+
+/**
+ * Fixed-size frame: 16-byte header + valueBytes payload, both
+ * directions (GET requests carry a dead payload so every read is one
+ * frame). Frames stay under the TCP MSS, so each one is a single
+ * segment and arrives atomically.
+ */
+struct GkvFrame
+{
+    GkvOp op = GkvOp::Get;
+    std::uint32_t key = 0;
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> value; ///< valueBytes long.
+};
+
+inline constexpr std::uint32_t kGkvHeaderBytes = 16;
+/** First server port; group g listens on kGkvBasePort + g. */
+inline constexpr std::uint16_t kGkvBasePort = 9100;
+
+std::vector<std::uint8_t> gkvEncode(const GkvFrame &frame,
+                                    std::uint32_t value_bytes);
+std::optional<GkvFrame> gkvDecode(const std::uint8_t *wire,
+                                  std::size_t len);
+
+/** Deterministic value for (key, version), verifiable end to end. */
+std::vector<std::uint8_t> gkvValueFor(std::uint32_t key,
+                                      std::uint64_t version,
+                                      std::uint32_t value_bytes);
+
+/** Versioned store shared by CPU and GPU servers. */
+class GkvStore
+{
+  public:
+    GkvStore(std::uint32_t num_keys, std::uint32_t value_bytes);
+
+    std::uint32_t numKeys() const
+    {
+        return static_cast<std::uint32_t>(versions_.size());
+    }
+    std::uint32_t valueBytes() const { return valueBytes_; }
+
+    void set(std::uint32_t key, std::uint64_t version);
+    std::uint64_t version(std::uint32_t key) const
+    {
+        return versions_[key];
+    }
+
+  private:
+    std::uint32_t valueBytes_;
+    std::vector<std::uint64_t> versions_;
+};
+
+struct GkvConfig
+{
+    std::uint32_t numConnections = 4; ///< load-generator connections
+    std::uint32_t requestsPerConn = 8;
+    std::uint32_t numKeys = 64;
+    std::uint32_t valueBytes = 256; ///< frame = 16 + valueBytes
+    double setFraction = 0.25;      ///< request mix
+    Tick thinkNs = 1000;            ///< per-request client think time
+    bool useGpu = true;
+    std::uint32_t serverGroups = 2; ///< listen sockets / epoll loops
+};
+
+struct GkvResult
+{
+    Tick elapsed = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t accepted = 0;
+    bool correct = false; ///< every reply verified, all conns served
+    double p50LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double throughputKops = 0.0;
+};
+
+GkvResult runGkv(core::System &sys, const GkvConfig &config);
+
+} // namespace genesys::workloads
+
+#endif // GENESYS_WORKLOADS_GKV_HH

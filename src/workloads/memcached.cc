@@ -356,7 +356,9 @@ runMemcached(core::System &sys, const MemcachedConfig &config)
                      (shared->hits + shared->misses ==
                       (config.numGets / num_clients) * num_clients);
     result.meanLatencyUs = shared->latencies.mean();
+    result.p50LatencyUs = shared->latencies.percentile(50);
     result.p95LatencyUs = shared->latencies.percentile(95);
+    result.p99LatencyUs = shared->latencies.percentile(99);
     result.throughputKops =
         result.elapsed == 0
             ? 0.0

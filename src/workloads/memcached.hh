@@ -94,7 +94,9 @@ struct MemcachedResult
     std::uint64_t misses = 0;
     bool correct = false; ///< every reply carried the right value
     double meanLatencyUs = 0.0;
+    double p50LatencyUs = 0.0;
     double p95LatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
     double throughputKops = 0.0;
 };
 

@@ -278,4 +278,57 @@ TEST(GmcReplay, OutOfRangeChoiceReportsPanic)
     EXPECT_EQ(out.kind, "panic");
 }
 
+// ------------------------------------------- gnet echo exploration
+
+TEST(GmcNet, FifoRunIsCleanAndDeterministic)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const RunOutcome a = core::gmc::replayNetConfig(mc, {});
+    const RunOutcome b = core::gmc::replayNetConfig(mc, {});
+    EXPECT_FALSE(a.violation) << a.kind << ": " << a.detail;
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(GmcNet, PollingBoundedExplorationIsClean)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    // The net scenario's schedule space is far larger than the pwrite
+    // scenario's (wire deliveries and readiness callbacks add tie
+    // points), so CI explores a bounded prefix rather than the full
+    // space. Every explored schedule must still pass all oracles.
+    ExploreOptions opts;
+    opts.maxSchedules = 24;
+    opts.maxDepth = 12;
+    const ExploreResult r = core::gmc::exploreNetConfig(mc, opts);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " net schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcNet, HaltResumeBoundedExplorationIsClean)
+{
+    // Halt/resume is where a lost epoll wake-up would strand the
+    // server wave: a "stuck" or gsan violation on any schedule here
+    // is a real wake/halt race in the readiness path.
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::HaltResume);
+    ExploreOptions opts;
+    opts.maxSchedules = 24;
+    opts.maxDepth = 12;
+    const ExploreResult r = core::gmc::exploreNetConfig(mc, opts);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " net schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
 } // namespace

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/system.hh"
+#include "osk/epoll.hh"
 #include "osk/fault.hh"
 #include "osk/file.hh"
 #include "support/gsan.hh"
@@ -670,6 +671,98 @@ TEST(GsanSysfs, ReportCountersAreReadOnly)
     }(sys, wrote));
     sys.run();
     EXPECT_NE(wrote, 1);
+}
+
+// --------------------------------------- epoll readiness channel
+
+/** Raw-stack rig for the epoll check-then-sleep window tests: a
+ *  connected TCP pair with the server end watched by one instance. */
+struct EpollGsanRig
+{
+    EpollGsanRig()
+        : sim(1), udp(sim.events(), params),
+          tcp(sim.events(), params),
+          ep(sim.events(), params, udp, tcp)
+    {
+        gsan.setEnabled(true);
+        ep.setSanitizer(&gsan);
+        osk::TcpSocket *lst = tcp.createSocket();
+        EXPECT_EQ(lst->bind({1, 7100}), 0);
+        EXPECT_EQ(lst->listen(4), 0);
+        cli = tcp.createSocket();
+        int rc = -1;
+        sim.spawn([](osk::TcpSocket *c, int &out) -> sim::Task<> {
+            out = co_await c->connect({1, 7100});
+        }(cli, rc));
+        sim.run();
+        EXPECT_EQ(rc, 0);
+        int sid = -1;
+        EXPECT_TRUE(lst->tryAccept(sid));
+        inst = ep.instance(ep.create());
+        EXPECT_NE(inst, nullptr);
+        EXPECT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 40,
+                            osk::SockKind::Tcp, sid, osk::EPOLLIN_,
+                            40),
+                  0);
+    }
+
+    osk::OskParams params;
+    sim::Sim sim;
+    osk::UdpStack udp;
+    osk::TcpStack tcp;
+    osk::EpollSystem ep;
+    Sanitizer gsan;
+    osk::TcpSocket *cli = nullptr;
+    osk::EpollInstance *inst = nullptr;
+};
+
+TEST(GsanSeeded, EpollNotifyInsideCheckSleepWindowIsReported)
+{
+    EpollGsanRig rig;
+    // Seeded bug: the waiter suspends for 1 ms between its readiness
+    // probe and its sleep without re-probing.
+    rig.inst->setTestSleepGap(ticks::ms(1));
+
+    osk::EpollEvent evs[2];
+    std::int64_t n = -1;
+    rig.sim.spawn([](osk::EpollInstance *i, osk::EpollEvent *e,
+                     std::int64_t &out) -> sim::Task<> {
+        out = co_await i->wait(e, 2, ticks::ms(5), /*waiter=*/1);
+    }(rig.inst, evs, n));
+    // Data lands inside the gap: its wakeup is lost, and only the
+    // timeout backstop rescues the (level-triggered) waiter.
+    rig.sim.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("x", 1);
+    }(rig.cli));
+    rig.sim.run();
+
+    EXPECT_EQ(n, 1); // the re-probe after the timer still finds data
+    EXPECT_EQ(rig.gsan.countOf(ReportKind::LostWakeup), 1u);
+    EXPECT_NE(rig.gsan.renderReports().find(
+                  "check-then-sleep window"),
+              std::string::npos);
+}
+
+TEST(GsanEndToEnd, EpollWaitWithoutSeededGapIsReportFree)
+{
+    EpollGsanRig rig;
+    osk::EpollEvent evs[2];
+    std::int64_t n = -1;
+    rig.sim.spawn([](osk::EpollInstance *i, osk::EpollEvent *e,
+                     std::int64_t &out) -> sim::Task<> {
+        out = co_await i->wait(e, 2, /*timeout_ns=*/-1,
+                               /*waiter=*/1);
+    }(rig.inst, evs, n));
+    // The write lands well after the waiter blocks; the notification
+    // is delivered, not lost.
+    rig.sim.spawn([](EpollGsanRig &r) -> sim::Task<> {
+        co_await sim::Delay(r.sim.events(), ticks::us(500));
+        co_await r.cli->write("x", 1);
+    }(rig));
+    rig.sim.run();
+
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(rig.gsan.reportCount(), 0u);
 }
 
 TEST(GsanSysfs, EnvironmentVariableEnablesSanitizer)
