@@ -16,8 +16,16 @@
  * returns incorrect replies, or if no sweep point shows throughput
  * increasing from the smallest to the largest connection count.
  *
- * Usage: abl_net_scaling [--quick]
+ * A second section compares the two submission paths head to head at
+ * the largest connection count: per-slot doorbells (one interrupt per
+ * published slot) versus SQ/CQ ring batches (one doorbell per
+ * published batch, DESIGN.md §13). The epoll-heavy server path is
+ * exactly where batching pays — every readiness burst turns into one
+ * consume sweep instead of a per-slot interrupt storm.
+ *
+ * Usage: abl_net_scaling [--quick] [--rings]
  *   --quick  two configs on small request counts (CI smoke).
+ *   --rings  run the scaling sweep itself through the SQ/CQ rings.
  */
 
 #include <cstring>
@@ -45,6 +53,10 @@ struct RunOutcome
     double p50Us = 0.0;
     double p99Us = 0.0;
     std::uint64_t gsanReports = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t ringBatches = 0;
+    double ringOccupancy = 0.0;
+    std::uint64_t doorbellsSuppressed = 0;
 };
 
 std::uint64_t g_totalGsanReports = 0;
@@ -52,20 +64,23 @@ bool g_anyIncorrect = false;
 
 RunOutcome
 runPoint(const SweepPoint &p, std::uint32_t connections,
-         std::uint32_t requests_per_conn)
+         std::uint32_t requests_per_conn, bool rings)
 {
     workloads::GkvConfig cfg;
     cfg.useGpu = true;
     cfg.numConnections = connections;
     cfg.requestsPerConn = requests_per_conn;
-    cfg.serverGroups = 4;
+    cfg.serverGroups = 8;
 
     core::SystemConfig sc; // paper platform: 8 CUs, 4 CPU cores
     sc.genesys.areaShards = p.shards;
+    sc.genesys.useRings = rings;
     // Each server group parks a blocking epoll_wait in a workqueue
-    // worker (same floor as the memcached recvfrom servers), so the
-    // sweep's worker count comes on top of that reserve.
-    sc.kernel.workqueueWorkers = p.workers + cfg.serverGroups + 2;
+    // worker (same floor as the memcached recvfrom servers). The
+    // reserve covers exactly those parks, so the sweep's worker axis
+    // is the host's non-parked service concurrency — tight enough
+    // that it binds under the 16-connection fan-in.
+    sc.kernel.workqueueWorkers = p.workers + cfg.serverGroups;
     core::System sys(sc);
     sys.gsan().setEnabled(true);
 
@@ -76,6 +91,10 @@ runPoint(const SweepPoint &p, std::uint32_t connections,
     out.throughputKops = res.throughputKops;
     out.p50Us = res.p50LatencyUs;
     out.p99Us = res.p99LatencyUs;
+    out.interrupts = sys.host().interrupts();
+    out.ringBatches = sys.syscallArea().ringBatchesTotal();
+    out.ringOccupancy = sys.syscallArea().ringBatchOccupancy();
+    out.doorbellsSuppressed = sys.host().ringDoorbellsSuppressed();
     return out;
 }
 
@@ -85,14 +104,20 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool rings = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        if (std::strcmp(argv[i], "--rings") == 0)
+            rings = true;
     }
 
     banner("Ablation: net scaling",
-           "gkv GPU server over TCP+epoll; connections x area shards "
-           "x workqueue workers");
+           rings ? "gkv GPU server over TCP+epoll (SQ/CQ ring "
+                   "submission); connections x area shards x "
+                   "workqueue workers"
+                 : "gkv GPU server over TCP+epoll; connections x area "
+                   "shards x workqueue workers");
 
     const std::vector<SweepPoint> points =
         quick ? std::vector<SweepPoint>{{1, 1}, {4, 4}}
@@ -119,7 +144,7 @@ main(int argc, char **argv)
         double first = 0.0, last = 0.0;
         for (std::size_t ci = 0; ci < conns.size(); ++ci) {
             const RunOutcome out =
-                runPoint(p, conns[ci], requests_per_conn);
+                runPoint(p, conns[ci], requests_per_conn, rings);
             g_totalGsanReports += out.gsanReports;
             if (!out.correct) {
                 g_anyIncorrect = true;
@@ -148,7 +173,61 @@ main(int argc, char **argv)
     std::printf("%s\n", t.render().c_str());
     std::printf("%s\n", lat.render().c_str());
 
+    // Head-to-head at the largest connection count: per-slot
+    // doorbells versus ring batches, same platform, same load.
+    const std::uint32_t cmp_conns = conns.back();
+    TextTable cmp(logging::format(
+        "submission path at conns=%u (per-slot vs SQ/CQ ring)",
+        cmp_conns));
+    cmp.setHeader({"shards x workers", "slot kops", "ring kops",
+                   "speedup", "interrupts", "batch occ",
+                   "bells saved"});
+    double best_speedup = 0.0;
+    for (const auto &p : points) {
+        const RunOutcome slot =
+            runPoint(p, cmp_conns, requests_per_conn, false);
+        const RunOutcome ring =
+            runPoint(p, cmp_conns, requests_per_conn, true);
+        g_totalGsanReports += slot.gsanReports + ring.gsanReports;
+        if (!slot.correct || !ring.correct) {
+            g_anyIncorrect = true;
+            cmp.addRow({logging::format("%u x %u", p.shards,
+                                        p.workers),
+                        "FAIL", "FAIL", "-", "-", "-", "-"});
+            continue;
+        }
+        const double speedup = slot.throughputKops > 0
+                                   ? ring.throughputKops /
+                                         slot.throughputKops
+                                   : 0.0;
+        best_speedup = std::max(best_speedup, speedup);
+        cmp.addRow({logging::format("%u x %u", p.shards, p.workers),
+                    logging::format("%.1f", slot.throughputKops),
+                    logging::format("%.1f", ring.throughputKops),
+                    logging::format("%.2fx", speedup),
+                    logging::format("%llu -> %llu",
+                                    static_cast<unsigned long long>(
+                                        slot.interrupts),
+                                    static_cast<unsigned long long>(
+                                        ring.interrupts)),
+                    logging::format("%.2f", ring.ringOccupancy),
+                    logging::format("%llu",
+                                    static_cast<unsigned long long>(
+                                        ring.doorbellsSuppressed))});
+    }
+    std::printf("%s\n", cmp.render().c_str());
+
     int rc = 0;
+    if (best_speedup < 1.3) {
+        std::printf("batching: best ring speedup %.2fx < 1.30x at "
+                    "conns=%u -- FAIL\n",
+                    best_speedup, cmp_conns);
+        rc = 1;
+    } else {
+        std::printf("batching: ring submission reaches %.2fx over "
+                    "per-slot doorbells at conns=%u\n",
+                    best_speedup, cmp_conns);
+    }
     if (g_anyIncorrect) {
         std::printf("correctness: some runs returned bad replies "
                     "-- FAIL\n");

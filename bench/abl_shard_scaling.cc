@@ -13,8 +13,14 @@
  * Every run executes with the gsan happens-before sanitizer enabled;
  * the binary exits nonzero if any run produces a report.
  *
- * Usage: abl_shard_scaling [--quick]
+ * A final section compares the two submission paths at the widest
+ * split: per-slot doorbells versus SQ/CQ ring batches (DESIGN.md
+ * §13), one row per workload at its largest rate. The binary exits
+ * nonzero if no workload shows a batching gain.
+ *
+ * Usage: abl_shard_scaling [--quick] [--rings]
  *   --quick  two configs per workload on small corpora (CI smoke).
+ *   --rings  run the scaling sweep itself through the SQ/CQ rings.
  */
 
 #include <cstring>
@@ -44,12 +50,14 @@ struct RunOutcome
 };
 
 std::uint64_t g_totalGsanReports = 0;
+bool g_rings = false;
 
 core::System
 shardedSystem(std::uint32_t shards, std::uint32_t workers)
 {
     core::SystemConfig cfg; // paper platform: 8 CUs, 4 CPU cores
     cfg.genesys.areaShards = shards;
+    cfg.genesys.useRings = g_rings;
     cfg.kernel.workqueueWorkers = workers;
     return core::System(cfg);
 }
@@ -186,6 +194,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        if (std::strcmp(argv[i], "--rings") == 0)
+            g_rings = true;
     }
 
     banner("Ablation: shard scaling",
@@ -216,11 +226,61 @@ main(int argc, char **argv)
     sweepWorkload("memcached", "kops/s", runMemcachedPoint, points,
                   mc_rates, "gets");
 
+    // Head-to-head at the widest split: per-slot doorbells versus
+    // SQ/CQ ring batches, each workload at its largest rate.
+    const bool sweep_rings = g_rings;
+    const SweepPoint widest = points.back();
+    TextTable cmp(logging::format(
+        "submission path at %ux%u (per-slot vs SQ/CQ ring)",
+        widest.shards, widest.workers));
+    cmp.setHeader({"workload", "slot", "ring", "speedup"});
+    double best_speedup = 0.0;
+    struct HeadToHead
+    {
+        const char *name;
+        PointFn fn;
+        std::uint32_t rate;
+    };
+    const HeadToHead hh[] = {
+        {"grep (MB/s)", runGrepPoint, grep_rates.back()},
+        {"wordcount (MB/s)", runWordcountPoint, wc_rates.back()},
+        {"memcached (kops/s)", runMemcachedPoint, mc_rates.back()},
+    };
+    for (const auto &h : hh) {
+        g_rings = false;
+        const RunOutcome slot = h.fn(widest, h.rate);
+        g_rings = true;
+        const RunOutcome ring = h.fn(widest, h.rate);
+        g_rings = sweep_rings;
+        g_totalGsanReports += slot.gsanReports + ring.gsanReports;
+        if (slot.throughput <= 0 || ring.throughput <= 0) {
+            cmp.addRow({h.name, "FAIL", "FAIL", "-"});
+            continue;
+        }
+        const double speedup = ring.throughput / slot.throughput;
+        best_speedup = std::max(best_speedup, speedup);
+        cmp.addRow({h.name, logging::format("%.1f", slot.throughput),
+                    logging::format("%.1f", ring.throughput),
+                    logging::format("%.2fx", speedup)});
+    }
+    std::printf("%s\n", cmp.render().c_str());
+    int rc = 0;
+    if (best_speedup < 1.05) {
+        std::printf("batching: no workload gained from ring "
+                    "submission (best %.2fx) -- FAIL\n",
+                    best_speedup);
+        rc = 1;
+    } else {
+        std::printf("batching: ring submission reaches %.2fx over "
+                    "per-slot doorbells at the widest split\n",
+                    best_speedup);
+    }
+
     if (g_totalGsanReports > 0) {
         std::printf("gsan: %llu report(s) across the sweep -- FAIL\n",
                     static_cast<unsigned long long>(g_totalGsanReports));
         return 1;
     }
     std::printf("gsan: clean across the sweep\n");
-    return 0;
+    return rc;
 }

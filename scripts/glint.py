@@ -30,6 +30,12 @@ Rules
                         Table II classification row: its name must
                         appear as a string literal in
                         src/osk/classification.cc
+  ring-raw-counter      SQ/CQ ring head/tail/claimed counters are
+                        touched only through the acquire/release
+                        accessor helpers in src/core/ring.hh
+                        (loadHeadAcquire / storeTailRelease / ...); a
+                        raw load or store elsewhere silently drops the
+                        DESIGN.md §13 memory-ordering contract
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -64,6 +70,10 @@ RAW_RAND_RE = re.compile(r"\brand\s*\(\s*\)|\bsrand\s*\(|"
                          r"\brandom_device\b")
 STATE_WRITE_RE = re.compile(r"\bstate_\s*=(?!=)")
 SEND_INTERRUPT_RE = re.compile(r"\bsendInterrupt\s*\(")
+
+RING_ACCESSOR_FILES = {"src/core/ring.hh"}
+RING_RAW_COUNTER_RE = re.compile(
+    r"\b(headRaw_|tailRaw_|claimedRaw_)\b")
 
 SYSNO_FILE = "src/osk/syscalls.hh"
 CLASSIFICATION_FILE = "src/osk/classification.cc"
@@ -235,6 +245,14 @@ def check_file(relpath, scrubbed, unordered_names):
                 "the doorbell is rung only by the device and the "
                 "client issue path (src/gpu/gpu.*, src/core/client.cc)")
 
+    if relpath not in RING_ACCESSOR_FILES:
+        for m in RING_RAW_COUNTER_RE.finditer(scrubbed):
+            add(m.start(), "ring-raw-counter",
+                "raw access to ring counter '%s'; go through the "
+                "acquire/release accessors in src/core/ring.hh "
+                "(loadHeadAcquire / storeTailRelease / ...)"
+                % m.group(1))
+
     file_unordered = unordered_names.get(relpath, set())
     for regex in (FOR_RANGE_RE, BEGIN_RE):
         for m in regex.finditer(scrubbed):
@@ -382,6 +400,24 @@ SELF_TEST_CASES = [
      'const char *names[] = {"gettimeofday", "clock_gettime"};', None),
     ("allow escape", "src/core/x.cc",
      "int r = rand(); // glint: allow(raw-rand)", None),
+    ("raw ring counter store outside ring.hh", "src/core/client.cc",
+     "void f(SyscallRing &r) { r.tailRaw_ = 7; }",
+     "ring-raw-counter"),
+    ("raw ring counter load outside ring.hh",
+     "src/core/backend/service_core.cc",
+     "bool f(const SyscallRing &r) "
+     "{ return r.headRaw_ == r.claimedRaw_; }",
+     "ring-raw-counter"),
+    ("raw counter inside the accessor header ok", "src/core/ring.hh",
+     "std::uint64_t loadHeadAcquire() const { return headRaw_; }",
+     None),
+    ("accessor call sites ok", "src/core/client.cc",
+     "void f(SyscallRing &r) "
+     "{ r.storeTailRelease(r.loadHeadAcquire() + 1); }", None),
+    ("ring counter in comment ok", "src/core/client.cc",
+     "// reads headRaw_ via loadHeadAcquire()\nvoid f();", None),
+    ("ring counter allow escape", "src/core/x.cc",
+     "auto h = r.headRaw_; // glint: allow(ring-raw-counter)", None),
 ]
 
 

@@ -5,11 +5,13 @@
 
 #include "interrupt_backend.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/sync.hh"
 #include "support/gmc_probe.hh"
 #include "support/gsan.hh"
+#include "support/logging.hh"
 #include "support/trace.hh"
 
 namespace genesys::core
@@ -33,10 +35,199 @@ InterruptBackend::onGpuInterrupt(std::uint32_t cu,
     gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
     ++interrupts_;
     ++shards_[shard].interrupts;
+    if (params_.useRings) {
+        // Ring mode (DESIGN.md §13): one doorbell per SQ batch, and
+        // even those are elided while a consumer task is already
+        // pending or running for the shard — the task re-checks the
+        // SQ before exiting, so suppressed batches are never lost.
+        ShardState &ss = shards_[shard];
+        if (ss.ringConsumerPending) {
+            ++ringSuppressed_;
+            return;
+        }
+        ss.ringConsumerPending = true;
+        ++inFlight_;
+        GENESYS_TRACE(core_.kernel().sim(), "genesys",
+                      "ring doorbell from hw wave %u (shard %u)",
+                      hw_wave_slot, shard);
+        core_.kernel().sim().spawn(ringArrival(shard));
+        return;
+    }
     ++inFlight_;
     GENESYS_TRACE(core_.kernel().sim(), "genesys",
                   "s_sendmsg interrupt from hw wave %u", hw_wave_slot);
     core_.kernel().sim().spawn(interruptArrival(shard, hw_wave_slot));
+}
+
+sim::Task<>
+InterruptBackend::ringArrival(std::uint32_t shard)
+{
+    auto &eq = core_.kernel().sim().events();
+    const auto &osk_params = core_.kernel().params();
+    co_await sim::Delay(eq, osk_params.interruptDeliver);
+    co_await sim::Delay(eq, osk_params.interruptHandler);
+    gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
+    // No time-window coalescing here: the SQ itself is the batch, and
+    // the bulk-consume task amortizes the pipeline over every entry
+    // published while it runs. The consumer is spawned as its own
+    // kthread, not queued as a workqueue item — see ringConsumeTask.
+    core_.kernel().sim().spawn(ringConsumeTask(shard));
+}
+
+sim::Task<>
+InterruptBackend::ringConsumeTask(std::uint32_t shard)
+{
+    auto &kernel = core_.kernel();
+    const auto &osk_params = kernel.params();
+    gsan::Sanitizer *gsan = core_.sanitizer();
+    const std::uint32_t servicer =
+        gsan != nullptr && gsan->enabled()
+            ? gsan->namedThread(
+                  logging::format("ring-poller-%u", shard))
+            : gsan::Sanitizer::kNoThread;
+    co_await kernel.cpus().acquireCore();
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+    // Poller kthread wakeup: runqueue insertion + switch, same cost
+    // shape as a workqueue dispatch.
+    co_await sim::Delay(kernel.sim().events(),
+                        osk_params.workqueueEnqueue +
+                            osk_params.contextSwitch);
+    int total = 0;
+    Tick lingered = 0;
+    for (;;) {
+        // Bulk-consume: pop everything published so far in one
+        // sweep, then fan the entries out — servicing inline would
+        // serialize the whole shard behind one core, forfeiting the
+        // parallelism the per-slot path gets from one workqueue task
+        // per interrupt.
+        std::vector<std::uint32_t> batch;
+        while (auto item = core_.tryPopRingEntry(shard, servicer))
+            batch.push_back(*item);
+        if (!batch.empty()) {
+            total += static_cast<int>(batch.size());
+            lingered = 0;
+            dispatchRingBatch(shard, batch);
+            continue;
+        }
+        // SPDK-style grace polling: linger after the SQ runs dry
+        // instead of retiring immediately. Batches published while we
+        // linger are picked up within one poll slice and never pay
+        // the doorbell/interrupt/wakeup pipeline (their doorbells are
+        // suppressed by ringConsumerPending). The core is released
+        // across each idle slice so the service chunks — and other
+        // shards' consumers — are never starved by a polling idler.
+        if (lingered < params_.ringConsumerGrace &&
+            params_.ringConsumerPoll > 0) {
+            gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+            kernel.cpus().releaseCore();
+            co_await sim::Delay(kernel.sim().events(),
+                                params_.ringConsumerPoll);
+            lingered += params_.ringConsumerPoll;
+            co_await kernel.cpus().acquireCore();
+            gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+            continue;
+        }
+        // Clear the pending flag, then re-check the SQ in the same
+        // event: a batch published during the drain had its doorbell
+        // suppressed, so it must be picked up here — and no doorbell
+        // can slip between the clear and the check.
+        gmc::Probe::instance().touch(gmc::ProbeKind::Doorbell, shard);
+        shards_[shard].ringConsumerPending = false;
+        if (core_.area().sq(shard).empty())
+            break;
+        shards_[shard].ringConsumerPending = true;
+    }
+    ++batches_;
+    batchSizes_.sample(static_cast<double>(total));
+    GENESYS_TRACE(kernel.sim(), "genesys",
+                  "ring consume task drained %d entr%s on shard %u",
+                  total, total == 1 ? "y" : "ies", shard);
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+    kernel.cpus().releaseCore();
+    GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
+    --inFlight_;
+    drainWait_->notifyAll();
+}
+
+void
+InterruptBackend::dispatchRingBatch(
+    std::uint32_t shard, const std::vector<std::uint32_t> &batch)
+{
+    // Entries whose call can park its kernel thread indefinitely
+    // (epoll_wait, accept, a socket read, ...) each get their own
+    // workqueue task — io_uring's punt-to-io-wq. Servicing one inline
+    // would stall the shard's whole consume pipeline behind it.
+    const std::uint32_t active =
+        std::max(1u, core_.kernel().workqueue().maxWorkers());
+    const std::uint32_t base_worker = steerTarget(shard);
+    std::uint32_t spread = 0;
+    std::vector<std::uint32_t> fast;
+    for (std::uint32_t item : batch) {
+        if (!core_.mayParkIndefinitely(core_.area().slot(item))) {
+            fast.push_back(item);
+            continue;
+        }
+        ++inFlight_;
+        core_.kernel().workqueue().enqueueOn(
+            (base_worker + spread++) % active,
+            [this, shard,
+             item](std::uint32_t worker) mutable -> sim::Task<> {
+                return ringServiceChunk(shard, {item}, worker);
+            });
+    }
+    if (fast.empty())
+        return;
+    // The fast entries are split into at most one chunk per worker,
+    // fanned out from the shard's preferred worker so concurrent
+    // chunks land on distinct queues.
+    const std::size_t chunks =
+        std::min<std::size_t>(fast.size(), active);
+    const std::size_t per = (fast.size() + chunks - 1) / chunks;
+    for (std::size_t base = 0; base < fast.size(); base += per) {
+        std::vector<std::uint32_t> part(
+            fast.begin() + static_cast<std::ptrdiff_t>(base),
+            fast.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(base + per, fast.size())));
+        ++inFlight_;
+        core_.kernel().workqueue().enqueueOn(
+            (base_worker + spread++) % active,
+            [this, shard, part = std::move(part)](
+                std::uint32_t worker) mutable -> sim::Task<> {
+                return ringServiceChunk(shard, std::move(part),
+                                        worker);
+            });
+    }
+}
+
+sim::Task<>
+InterruptBackend::ringServiceChunk(std::uint32_t shard,
+                                   std::vector<std::uint32_t> items,
+                                   std::uint32_t worker)
+{
+    auto &kernel = core_.kernel();
+    const auto &osk_params = kernel.params();
+    gsan::Sanitizer *gsan = core_.sanitizer();
+    const std::uint32_t servicer =
+        gsan != nullptr && gsan->enabled()
+            ? gsan->workerThread(worker)
+            : gsan::Sanitizer::kNoThread;
+    co_await kernel.cpus().acquireCore();
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+    // Service chunks run in the launching process's context, which
+    // the shard's consume task already switched into — they pay
+    // queue insertion but no further context switch (the resident
+    // poller-thread shape, DESIGN.md §13).
+    co_await sim::Delay(kernel.sim().events(),
+                        osk_params.workqueueEnqueue);
+    for (std::uint32_t item : items) {
+        co_await core_.serviceRingEntry(shard, item, servicer,
+                                        ServiceCore::ScanPolicy{});
+    }
+    gmc::Probe::instance().touch(gmc::ProbeKind::Core, 0);
+    kernel.cpus().releaseCore();
+    GENESYS_ASSERT(inFlight_ > 0, "in-flight underflow");
+    --inFlight_;
+    drainWait_->notifyAll();
 }
 
 sim::Task<>

@@ -47,6 +47,12 @@ class InterruptBackend : public ServiceBackend
     std::uint64_t batches() const { return batches_; }
     const stats::Distribution &batchSizes() const { return batchSizes_; }
     std::uint64_t inFlight() const { return inFlight_; }
+    /** Ring mode: doorbells elided because the shard already had a
+     *  consumer task pending or running (the batching win). */
+    std::uint64_t ringDoorbellsSuppressed() const
+    {
+        return ringSuppressed_;
+    }
 
   private:
     struct ShardState
@@ -55,6 +61,10 @@ class InterruptBackend : public ServiceBackend
         sim::EventId batchTimer = 0;
         bool batchTimerArmed = false;
         std::uint64_t interrupts = 0;
+        /// Ring mode: a consumer task is pending or running for this
+        /// shard, so further doorbells are suppressed — the task
+        /// re-checks the SQ before exiting.
+        bool ringConsumerPending = false;
     };
 
     sim::Task<> interruptArrival(std::uint32_t shard,
@@ -63,6 +73,24 @@ class InterruptBackend : public ServiceBackend
     /** @p worker is the index of the OS worker running the batch. */
     sim::Task<> serviceBatch(std::vector<std::uint32_t> waves,
                              std::uint32_t worker);
+
+    /** Ring mode: interrupt pipeline for one (unsuppressed) doorbell. */
+    sim::Task<> ringArrival(std::uint32_t shard);
+    /** Ring mode: the shard's dedicated consumer — bulk-drains the
+     *  SQ, fans the popped entries out across workers, then lingers
+     *  in a grace-poll loop (doorbell-free pickup) before retiring.
+     *  Runs as its own spawned kthread (the SPDK reactor shape), NOT
+     *  a workqueue item: a lingering poller must never occupy one of
+     *  the bounded workers the service chunks it dispatches need. */
+    sim::Task<> ringConsumeTask(std::uint32_t shard);
+    /** Fan @p batch out across the workqueue: may-block entries are
+     *  punted one per task, the rest split into per-worker chunks. */
+    void dispatchRingBatch(std::uint32_t shard,
+                           const std::vector<std::uint32_t> &batch);
+    /** Ring mode: service one dispatched chunk of popped entries. */
+    sim::Task<> ringServiceChunk(std::uint32_t shard,
+                                 std::vector<std::uint32_t> items,
+                                 std::uint32_t worker);
     /** Shard -> preferred workqueue worker under the steering policy. */
     std::uint32_t steerTarget(std::uint32_t shard);
 
@@ -74,6 +102,7 @@ class InterruptBackend : public ServiceBackend
     std::uint64_t interrupts_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t inFlight_ = 0;
+    std::uint64_t ringSuppressed_ = 0;
     stats::Distribution batchSizes_{"genesys.batch_size"};
     std::unique_ptr<sim::WaitQueue> drainWait_;
 };

@@ -87,11 +87,21 @@ PollingDaemonBackend::daemonLoop(std::uint32_t shard)
         // User-mode scan over the shard's slot range.
         co_await sim::Delay(eq, ticks::us(2));
         bool any = false;
-        for (std::uint32_t i = first; i < first + count; ++i) {
-            const bool did = co_await core_.serviceSlot(
-                core_.area().slot(i), daemonThread(shard), i / lanes,
-                i % lanes, policy);
-            any = any || did;
+        if (core_.area().ringsEnabled()) {
+            // Polled-completion ring mode (DESIGN.md §13): poll the
+            // shard SQ and bulk-service the published entries rather
+            // than sweeping every slot; completions ride the CQ, so
+            // waiters never need a wakeup from this loop.
+            const int n = co_await core_.serviceRing(
+                shard, daemonThread(shard), policy);
+            any = n > 0;
+        } else {
+            for (std::uint32_t i = first; i < first + count; ++i) {
+                const bool did = co_await core_.serviceSlot(
+                    core_.area().slot(i), daemonThread(shard),
+                    i / lanes, i % lanes, policy);
+                any = any || did;
+            }
         }
         ++sweeps_;
         if (!any && !last_sweep)
@@ -112,8 +122,9 @@ PollingDaemonBackend::stopped()
 sim::Task<>
 PollingDaemonBackend::drain()
 {
-    // The daemon has no in-flight counter; poll area quiescence.
-    while (!core_.area().quiescent())
+    // The daemon has no in-flight counter; poll area quiescence
+    // (including, in ring mode, unconsumed SQ entries).
+    while (!core_.area().quiescent() || !core_.area().ringsIdle())
         co_await sim::Delay(core_.kernel().sim().events(),
                             ticks::us(10));
 }

@@ -15,6 +15,37 @@
 namespace genesys::core
 {
 
+bool
+ServiceCore::mayBlockIndefinitely(int sysno)
+{
+    // recvfrom on an empty socket, read on an empty pipe, nanosleep,
+    // accept/connect on a stream, epoll_wait on idle sockets.
+    return sysno == osk::sysno::recvfrom ||
+           sysno == osk::sysno::read ||
+           sysno == osk::sysno::nanosleep ||
+           sysno == osk::sysno::accept ||
+           sysno == osk::sysno::connect ||
+           sysno == osk::sysno::epoll_wait;
+}
+
+bool
+ServiceCore::mayParkIndefinitely(const SyscallSlot &slot) const
+{
+    const int sysno = slot.sysno();
+    if (!mayBlockIndefinitely(sysno))
+        return false;
+    if (sysno == osk::sysno::nanosleep)
+        return true;
+    const osk::OpenFile *f =
+        proc_.fds().get(static_cast<int>(slot.args().a[0]));
+    if (f == nullptr)
+        return true; // bad fd: resolve conservatively, in a punt task
+    if (f->socketId >= 0 || f->tcpId >= 0 || f->epollId >= 0)
+        return true;
+    return f->inode != nullptr &&
+           f->inode->type() == osk::InodeType::Pipe;
+}
+
 sim::Task<std::int64_t>
 ServiceCore::executeSlotCall(const SyscallSlot &slot)
 {
@@ -73,19 +104,10 @@ ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
         co_await sim::Delay(kernel_.sim().events(),
                             kernel_.params().syscallBase);
     }
-    // Calls that can block indefinitely (recvfrom on an empty
-    // socket, read on an empty pipe, nanosleep, accept/connect on a
-    // stream, epoll_wait on idle sockets) release the core — a
-    // blocked kernel thread schedules away — and re-acquire
-    // afterwards.
-    const bool may_block =
-        policy.releaseCoreOnBlocking &&
-        (slot.sysno() == osk::sysno::recvfrom ||
-         slot.sysno() == osk::sysno::read ||
-         slot.sysno() == osk::sysno::nanosleep ||
-         slot.sysno() == osk::sysno::accept ||
-         slot.sysno() == osk::sysno::connect ||
-         slot.sysno() == osk::sysno::epoll_wait);
+    // Calls that can block indefinitely release the core — a blocked
+    // kernel thread schedules away — and re-acquire afterwards.
+    const bool may_block = policy.releaseCoreOnBlocking &&
+                           mayBlockIndefinitely(slot.sysno());
     if (may_block)
         kernel_.cpus().releaseCore();
     const std::int64_t ret = co_await executeSlotCall(slot);
@@ -127,6 +149,104 @@ ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
     if (wake)
         gpu_.resumeWave(requester);
     co_return true;
+}
+
+void
+ServiceCore::postCompletion(std::uint32_t shard,
+                            std::uint32_t item_slot)
+{
+    SyscallRing &cq = area_.cq(shard);
+    auto base = cq.tryClaim(1, cq.loadHeadAcquire());
+    if (!base) {
+        // Lossy overflow: the completion signal is the monotone tail
+        // counter, so dropping the oldest un-reaped payload is safe
+        // (DESIGN.md §13) — waiters sweep their own slot states.
+        cq.reclaimOldest();
+        base = cq.tryClaim(1, cq.loadHeadAcquire());
+    }
+    cq.writeEntry(*base, item_slot);
+    const bool ok = cq.tryPublish(*base, 1);
+    GENESYS_ASSERT(ok, "CQ publish raced: shard %u has multiple "
+                       "completion posters", shard);
+    ++cqPosted_;
+}
+
+std::optional<std::uint32_t>
+ServiceCore::tryPopRingEntry(std::uint32_t shard,
+                             std::uint32_t servicer)
+{
+    SyscallRing &sq = area_.sq(shard);
+    sq.probeTouch();
+    if (sq.empty())
+        return std::nullopt;
+    if (gsan_ != nullptr && gsan_->enabled() &&
+        servicer != gsan::Sanitizer::kNoThread) {
+        gsan_->setActor(servicer);
+    }
+    if (params_.gsanTest.ringRacySqConsume) {
+        // Seeded bug: read the entry without the consume acquire,
+        // so the producer's publish is not ordered before it.
+        (void)sq.racyPeekEntry();
+    }
+    return sq.popHead();
+}
+
+sim::Task<int>
+ServiceCore::serviceRingEntry(std::uint32_t shard,
+                              std::uint32_t item_slot,
+                              std::uint32_t servicer,
+                              ScanPolicy policy)
+{
+    const bool san = gsan_ != nullptr && gsan_->enabled() &&
+                     servicer != gsan::Sanitizer::kNoThread;
+    SyscallSlot &slot = area_.slot(item_slot);
+    const std::uint32_t wave = item_slot / area_.wavefrontSize();
+    const std::uint32_t lane = item_slot % area_.wavefrontSize();
+    const bool was_blocking = slot.blocking();
+
+    if (params_.gsanTest.ringCompleteBeforePublish && slot.ready() &&
+        was_blocking) {
+        // Seeded bug (gmc mutant): post the completion event and
+        // yield BEFORE servicing the entry. A polling waiter that
+        // observes the tail advance re-sweeps once, finds the slot
+        // unfinished, and (eliding identical counter reads) never
+        // sweeps again.
+        if (san)
+            gsan_->setActor(servicer);
+        postCompletion(shard, item_slot);
+        co_await sim::Delay(kernel_.sim().events(), 0);
+        if (san)
+            gsan_->setActor(servicer);
+        co_return co_await serviceSlot(slot, servicer, wave, lane,
+                                       policy)
+            ? 1
+            : 0;
+    }
+
+    const bool did =
+        co_await serviceSlot(slot, servicer, wave, lane, policy);
+    if (did && was_blocking) {
+        // The CQ post must happen AFTER the slot's complete()
+        // release: waiters elide re-sweeps while the tail is
+        // unchanged, so a tail advance must prove the result is
+        // visible (the memory-ordering contract, §13).
+        if (san)
+            gsan_->setActor(servicer);
+        postCompletion(shard, item_slot);
+    }
+    co_return did ? 1 : 0;
+}
+
+sim::Task<int>
+ServiceCore::serviceRing(std::uint32_t shard, std::uint32_t servicer,
+                         ScanPolicy policy)
+{
+    int handled = 0;
+    while (auto item = tryPopRingEntry(shard, servicer)) {
+        handled +=
+            co_await serviceRingEntry(shard, *item, servicer, policy);
+    }
+    co_return handled;
 }
 
 sim::Task<int>

@@ -15,6 +15,7 @@
 #define GENESYS_CORE_BACKEND_SERVICE_CORE_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "core/params.hh"
 #include "core/slot.hh"
@@ -70,6 +71,63 @@ class ServiceCore
     sim::Task<int> serviceWaveSlots(std::uint32_t hw_wave_slot,
                                     std::uint32_t servicer);
 
+    /**
+     * Ring-mode bulk consume (DESIGN.md §13): drain @p shard's SQ —
+     * for each published entry, acquire-pop it, service the named
+     * slot, and post a completion event on the shard CQ for blocking
+     * calls. Shared by the interrupt backend's batch task and the
+     * polling daemon's polled-completion sweep; callers guarantee one
+     * consumer per shard at a time. @return entries handled.
+     */
+    sim::Task<int> serviceRing(std::uint32_t shard,
+                               std::uint32_t servicer,
+                               ScanPolicy policy);
+
+    /**
+     * Acquire-pop the oldest published SQ entry of @p shard, or
+     * nullopt when the SQ is empty. The pop is attributed to
+     * @p servicer; callers guarantee one consumer per shard at a
+     * time. Building block for backends that separate consuming the
+     * SQ from servicing the entries (the interrupt backend pops in
+     * bulk, then fans the slots out across workqueue workers).
+     */
+    std::optional<std::uint32_t>
+    tryPopRingEntry(std::uint32_t shard, std::uint32_t servicer);
+
+    /**
+     * Service one already-popped SQ entry: run the named slot through
+     * serviceSlot() and post a CQ completion event for blocking calls
+     * (strictly after the slot's complete() release — the §13
+     * contract). @return 1 when the slot was handled.
+     */
+    sim::Task<int> serviceRingEntry(std::uint32_t shard,
+                                    std::uint32_t item_slot,
+                                    std::uint32_t servicer,
+                                    ScanPolicy policy);
+
+    /** Completion events posted to CQs (ring mode). */
+    std::uint64_t cqPosted() const { return cqPosted_; }
+
+    /**
+     * Can this call block its kernel thread indefinitely (not just
+     * for a modeled cost)? Such calls release their CPU core while
+     * blocked, and ring-mode consumers punt them to their own
+     * workqueue task instead of servicing them inline — one parked
+     * epoll_wait must not stall a shard's whole consume pipeline.
+     */
+    static bool mayBlockIndefinitely(int sysno);
+
+    /**
+     * Fd-aware refinement of mayBlockIndefinitely() for @p slot's
+     * call: only sockets, pipes, and epoll instances can actually
+     * park the servicing thread — a read(2) of a regular file is
+     * bounded IO. The ring dispatcher uses this to punt real parkers
+     * to their own task without paying a task per file read (the
+     * static sysno set stays in serviceSlot, whose slot-mode timing
+     * is pinned by the parity test).
+     */
+    bool mayParkIndefinitely(const SyscallSlot &slot) const;
+
     // --- stats ------------------------------------------------------
     std::uint64_t processed() const { return processed_; }
     /** Fault recoveries performed for non-blocking slots. */
@@ -93,6 +151,14 @@ class ServiceCore
      */
     sim::Task<std::int64_t> executeSlotCall(const SyscallSlot &slot);
 
+    /**
+     * Post a completion event on @p shard's CQ. The CQ is lossy by
+     * design: on overflow the oldest event is reclaimed, because the
+     * completion signal waiters consume is the monotone tail counter,
+     * not the entry payloads (DESIGN.md §13).
+     */
+    void postCompletion(std::uint32_t shard, std::uint32_t item_slot);
+
     osk::Kernel &kernel_;
     gpu::GpuDevice &gpu_;
     SyscallArea &area_;
@@ -102,6 +168,7 @@ class ServiceCore
 
     std::uint64_t processed_ = 0;
     std::uint64_t hostRestarts_ = 0;
+    std::uint64_t cqPosted_ = 0;
 };
 
 } // namespace genesys::core

@@ -5,6 +5,7 @@
 
 #include "client.hh"
 
+#include <algorithm>
 #include <cerrno>
 
 #include "support/gmc_probe.hh"
@@ -67,13 +68,98 @@ GpuSyscalls::claimSlot(gpu::WavefrontCtx &ctx, std::uint32_t item_slot)
     SyscallSlot &slot = area_.slot(item_slot);
     const mem::Addr addr = area_.slotAddr(item_slot);
     for (;;) {
-        co_await gpu_.accessLine(addr, gpu_.config().atomicCmpSwap);
+        // Ring mode: the SQ claim inside ringSubmit is the one fabric
+        // atomic that serializes this call against other agents; the
+        // slot claim is a CAS on the lane's own statically-assigned
+        // line (it only ever races the host recycling that same
+        // slot), so it is charged at populate cost, not as a second
+        // global round-trip.
+        co_await gpu_.accessLine(addr, params_.useRings
+                                           ? params_.perLanePopulate
+                                           : gpu_.config().atomicCmpSwap);
         if (sanOn())
             sanActor(ctx);
         if (slot.claim())
             co_return;
         // Slot still owned by an earlier (non-blocking) call; retry.
         co_await ctx.compute(params_.pollIntervalCycles);
+    }
+}
+
+sim::Task<>
+GpuSyscalls::ringSubmit(gpu::WavefrontCtx &ctx,
+                        const std::uint32_t *slots, std::uint32_t n)
+{
+    const std::uint32_t shard = area_.shardOfWave(ctx.hwWaveSlot());
+    SyscallRing &sq = area_.sq(shard);
+    const mem::Addr addr = area_.sqAddr(shard);
+
+    std::uint32_t submitted = 0;
+    while (submitted < n) {
+        const std::uint32_t chunk =
+            std::min(n - submitted, sq.capacity());
+
+        // Seeded bug (gmc mutant): sample the SQ occupancy up front
+        // and assume a non-empty ring means someone else's doorbell
+        // will cover this batch. The sample is stale by publish time;
+        // if the consumer drains the observed entries and goes idle
+        // during our claim/populate window, the batch is stranded.
+        bool skip_doorbell = false;
+        if (params_.gsanTest.ringDropDoorbell)
+            skip_doorbell = !sq.empty();
+
+        // Claim: a timed read of the SQ counter line, then a CAS-style
+        // reservation against the observed head. On failure re-read
+        // the line so consumer progress becomes visible.
+        co_await gpu_.accessLine(addr, gpu_.config().atomicCmpSwap);
+        std::uint64_t head = sq.loadHeadAcquire();
+        std::uint64_t base = 0;
+        for (;;) {
+            if (auto b = sq.tryClaim(chunk, head)) {
+                base = *b;
+                break;
+            }
+            ++ringFullRetries_;
+            co_await ctx.compute(params_.pollIntervalCycles);
+            if (!params_.gsanTest.ringStaleHead) {
+                // Seeded bug (gmc mutant) skips this refresh: the
+                // cached head never observes the consumer freeing
+                // space, so a full-looking SQ spins forever.
+                co_await gpu_.accessLine(addr,
+                                         gpu_.config().atomicCmpSwap);
+                head = sq.loadHeadAcquire();
+            }
+        }
+
+        // Entry stores are plain writes into the claimed-exclusive
+        // window — the tail release below (ordered ahead of the
+        // doorbell) is what makes them visible, so they pipeline at
+        // populate cost instead of paying per-entry fabric atomics.
+        for (std::uint32_t i = 0; i < chunk; ++i) {
+            co_await gpu_.accessLine(addr, params_.perLanePopulate);
+            sq.writeEntry(base + i, slots[submitted + i]);
+        }
+
+        // Publish in claim order; a later claimant waits for earlier
+        // ones so tail covers a contiguous prefix.
+        for (;;) {
+            if (sanOn())
+                sanActor(ctx);
+            if (sq.tryPublish(base, chunk))
+                break;
+            co_await ctx.compute(params_.pollIntervalCycles);
+        }
+        area_.noteRingBatch(shard, chunk);
+
+        if (!skip_doorbell) {
+            // ONE doorbell per batch (vs. one per slot pre-ring).
+            if (sanOn()) {
+                sanActor(ctx);
+                gsan_->ringDoorbell(area_.sqRingKey(shard));
+            }
+            gpu_.sendInterrupt(ctx.hwWaveSlot());
+        }
+        submitted += chunk;
     }
 }
 
@@ -115,7 +201,43 @@ GpuSyscalls::waitSlots(
         }
     };
 
-    if (inv.waitMode == WaitMode::Polling) {
+    if (inv.waitMode == WaitMode::Polling && params_.useRings) {
+        // Ring mode (DESIGN.md §13): instead of one atomic load per
+        // outstanding lane per round, poll the shard CQ's published
+        // tail — one counter-line load per round — and only re-sweep
+        // the lanes' slot states when the counter advanced. The slot
+        // sweeps themselves are untimed; the CQ line is the only
+        // polled traffic. Correctness leans on the host posting the
+        // completion event AFTER the slot's Finished release: a tail
+        // advance therefore guarantees the finished slot is visible.
+        const std::uint32_t shard = area_.shardOfWave(ctx.hwWaveSlot());
+        SyscallRing &cq = area_.cq(shard);
+        const mem::Addr caddr = area_.cqAddr(shard);
+        co_await gpu_.accessLine(caddr, gpu_.config().atomicLoad);
+        cq.probeTouch();
+        std::uint64_t seen = cq.loadTailAcquire();
+        if (sanOn()) {
+            sanActor(ctx);
+            gsan_->ringObserve(area_.cqRingKey(shard));
+        }
+        // Unconditional first sweep: completions that landed before
+        // this wait began never bump the counter again.
+        co_await sweep_finished(false);
+        while (outstanding != 0) {
+            co_await ctx.compute(params_.pollIntervalCycles);
+            co_await gpu_.accessLine(caddr, gpu_.config().atomicLoad);
+            cq.probeTouch();
+            const std::uint64_t tail = cq.loadTailAcquire();
+            if (tail == seen)
+                continue;
+            seen = tail;
+            if (sanOn()) {
+                sanActor(ctx);
+                gsan_->ringObserve(area_.cqRingKey(shard));
+            }
+            co_await sweep_finished(false);
+        }
+    } else if (inv.waitMode == WaitMode::Polling) {
         while (outstanding != 0) {
             co_await sweep_finished(true);
             if (outstanding != 0)
@@ -153,7 +275,7 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
 
     co_await claimSlot(ctx, item_slot);
     co_await sim::Delay(ctx.sim().events(), params_.perLanePopulate);
-    if (params_.gsanTest.doorbellBeforePublish) {
+    if (!params_.useRings && params_.gsanTest.doorbellBeforePublish) {
         // Seeded bug (gmc mutant): ring the doorbell before the slot
         // is published. Under FIFO tie-breaking the publish still wins
         // the race against the interrupt pipeline, but an adversarial
@@ -161,7 +283,16 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
         // stranding the request.
         gpu_.sendInterrupt(ctx.hwWaveSlot());
     }
-    co_await gpu_.accessLine(addr, gpu_.config().atomicSwap);
+    if (params_.useRings) {
+        // Ring mode: the slot payload is plain stores into space this
+        // lane exclusively claimed — the SQ tail release (+ one
+        // doorbell per batch) inside ringSubmit below is the batch's
+        // single visibility point, so the slot's own publish needs no
+        // fabric round-trip of its own.
+        co_await gpu_.accessLine(addr, params_.perLanePopulate);
+    } else {
+        co_await gpu_.accessLine(addr, gpu_.config().atomicSwap);
+    }
     if (sanOn())
         sanActor(ctx);
     slot.publish(sysno, args, inv.blocking == Blocking::Blocking,
@@ -173,8 +304,14 @@ GpuSyscalls::issueOnce(gpu::WavefrontCtx &ctx, Invocation inv,
                   ctx.hwWaveSlot(), sysno, orderingName(inv.ordering),
                   blockingName(inv.blocking),
                   waitModeName(inv.waitMode));
-    if (!params_.gsanTest.doorbellBeforePublish)
+    if (params_.useRings) {
+        // Ring path: enqueue the slot index on the shard SQ; the
+        // doorbell rings once per batch inside ringSubmit.
+        const std::uint32_t batch[1] = {item_slot};
+        co_await ringSubmit(ctx, batch, 1);
+    } else if (!params_.gsanTest.doorbellBeforePublish) {
         gpu_.sendInterrupt(ctx.hwWaveSlot());
+    }
 
     if (params_.gsanTest.racyPeekBeforeFinished &&
         inv.blocking == Blocking::Blocking) {
@@ -381,9 +518,12 @@ GpuSyscalls::invokeWorkItems(
             SyscallSlot &slot = area_.slot(first_slot + lane);
             const mem::Addr addr = area_.slotAddr(first_slot + lane);
             for (;;) {
+                // Ring mode: the round's SQ claim carries the fabric
+                // serialization (see claimSlot), so no leading CAS.
                 co_await gpu_.accessLine(
-                    addr, first ? gpu_.config().atomicCmpSwap
-                                : params_.perLanePopulate);
+                    addr, first && !params_.useRings
+                              ? gpu_.config().atomicCmpSwap
+                              : params_.perLanePopulate);
                 if (sanOn())
                     sanActor(ctx);
                 if (slot.claim())
@@ -401,9 +541,13 @@ GpuSyscalls::invokeWorkItems(
                 continue;
             SyscallSlot &slot = area_.slot(first_slot + lane);
             const mem::Addr addr = area_.slotAddr(first_slot + lane);
-            co_await gpu_.accessLine(addr,
-                                     first ? gpu_.config().atomicSwap
-                                           : params_.perLanePopulate);
+            // Ring mode: the round's SQ publish is the visibility
+            // point for every lane's slot, so the per-slot publishes
+            // are plain stores (no leading fabric atomic).
+            co_await gpu_.accessLine(
+                addr, first && !params_.useRings
+                          ? gpu_.config().atomicSwap
+                          : params_.perLanePopulate);
             if (sanOn())
                 sanActor(ctx);
             slot.publish(sysno, args[lane],
@@ -414,8 +558,23 @@ GpuSyscalls::invokeWorkItems(
             first = false;
         }
 
-        // One scalar s_sendmsg for the whole wavefront.
-        gpu_.sendInterrupt(ctx.hwWaveSlot());
+        if (params_.useRings) {
+            // The whole round is one SQ batch: every pending lane's
+            // slot index, one doorbell.
+            std::vector<std::uint32_t> batch;
+            batch.reserve(ctx.laneCount());
+            for (std::uint32_t lane = 0; lane < ctx.laneCount();
+                 ++lane) {
+                if (pending & (1ull << lane))
+                    batch.push_back(first_slot + lane);
+            }
+            co_await ringSubmit(ctx, batch.data(),
+                                static_cast<std::uint32_t>(
+                                    batch.size()));
+        } else {
+            // One scalar s_sendmsg for the whole wavefront.
+            gpu_.sendInterrupt(ctx.hwWaveSlot());
+        }
 
         if (inv.blocking == Blocking::NonBlocking)
             co_return; // fire-and-forget: host recovers on our behalf

@@ -207,6 +207,8 @@ class GpuSyscalls
     std::uint64_t syscallRetries() const { return retries_; }
     /** Short read/write results continued with a follow-up request. */
     std::uint64_t shortTransfers() const { return shortTransfers_; }
+    /** Ring mode: claim retries while the SQ looked full. */
+    std::uint64_t ringFullRetries() const { return ringFullRetries_; }
 
   private:
     /**
@@ -237,6 +239,15 @@ class GpuSyscalls
     sim::Task<> claimSlot(gpu::WavefrontCtx &ctx,
                           std::uint32_t item_slot);
 
+    /**
+     * Ring-mode batch submission (DESIGN.md §13): claim a range of SQ
+     * entries on the wave's shard, write the published slot indices,
+     * publish in claim order, and ring ONE doorbell for the batch.
+     * Batches larger than the SQ capacity split into chunks.
+     */
+    sim::Task<> ringSubmit(gpu::WavefrontCtx &ctx,
+                           const std::uint32_t *slots, std::uint32_t n);
+
     /** Poll (or halt) until every listed slot finishes; consume all. */
     sim::Task<> waitSlots(gpu::WavefrontCtx &ctx, Invocation inv,
                           std::uint32_t first_slot,
@@ -256,6 +267,7 @@ class GpuSyscalls
     std::uint64_t issued_ = 0;
     std::uint64_t retries_ = 0;
     std::uint64_t shortTransfers_ = 0;
+    std::uint64_t ringFullRetries_ = 0;
 };
 
 } // namespace genesys::core

@@ -161,11 +161,15 @@ McConfig::name() const
     const char *g = granularity == Granularity::WorkItem ? "wi"
                     : granularity == Granularity::WorkGroup ? "wg"
                                                             : "k";
-    return format("%s-%s-%s-%s-%ux%ug%u", g,
-                  ordering == Ordering::Strong ? "strong" : "relaxed",
-                  blocking == Blocking::Blocking ? "block" : "nonblock",
-                  wait == WaitMode::Polling ? "poll" : "halt",
-                  areaShards, workers, groups);
+    std::string base =
+        format("%s-%s-%s-%s-%ux%ug%u", g,
+               ordering == Ordering::Strong ? "strong" : "relaxed",
+               blocking == Blocking::Blocking ? "block" : "nonblock",
+               wait == WaitMode::Polling ? "poll" : "halt",
+               areaShards, workers, groups);
+    if (useRings)
+        base += format("-ring%u", ringEntries);
+    return base;
 }
 
 std::vector<McConfig>
@@ -294,6 +298,13 @@ collapsedConfig(const McConfig &mc)
 
     auto &gp = cfg.genesys;
     gp.areaShards = mc.areaShards;
+    gp.useRings = mc.useRings;
+    gp.ringEntries = mc.ringEntries == 0 ? 1 : mc.ringEntries;
+    // No grace polling under the model checker: a lingering consumer
+    // adds an unbounded tail of poll slices to every schedule, and
+    // the mutants whose signature is "batch stranded after the
+    // consumer retires" need the consumer to actually retire.
+    gp.ringConsumerGrace = 0;
     // The one latency deliberately kept nonzero: polling must advance
     // the clock or a waiting wave could spin forever inside one tick.
     // One GPU cycle rounds up to one tick.
@@ -398,6 +409,14 @@ scenario(const McConfig &mc)
                 return out;
             }
         }
+        if (sys.syscallArea().ringsEnabled() &&
+            !sys.syscallArea().ringsIdle()) {
+            out.violation = true;
+            out.kind = "quiescence";
+            out.detail =
+                "SQ entries left published but unconsumed after drain";
+            return out;
+        }
 
         Fnv1a digest;
         for (std::int64_t r : shared->results)
@@ -408,6 +427,12 @@ scenario(const McConfig &mc)
              ++s) {
             digest.mix(sys.syscallArea().issuedOnShard(s));
             digest.mix(sys.syscallArea().processedOnShard(s));
+            if (sys.syscallArea().ringsEnabled()) {
+                // Entry counts (not batch shapes) are the
+                // schedule-invariant ring outcome.
+                digest.mix(sys.syscallArea().sq(s).publishedTotal());
+                digest.mix(sys.syscallArea().sq(s).consumedTotal());
+            }
         }
         out.digest = digest.value();
         return out;
@@ -653,6 +678,37 @@ sim::gmc::ExploreResult
 exploreConfig(const McConfig &mc, const sim::gmc::ExploreOptions &opts)
 {
     return sim::gmc::explore(scenario(mc), opts);
+}
+
+sim::gmc::RunFn
+ringScenario(const McConfig &mc)
+{
+    McConfig ring = mc;
+    ring.useRings = true;
+    if (ring.ringEntries == 0)
+        ring.ringEntries = 1;
+    return scenario(ring);
+}
+
+sim::gmc::ExploreResult
+exploreRingConfig(const McConfig &mc,
+                  const sim::gmc::ExploreOptions &opts)
+{
+    McConfig ring = mc;
+    ring.useRings = true;
+    if (ring.ringEntries == 0)
+        ring.ringEntries = 1;
+    return sim::gmc::explore(scenario(ring), opts);
+}
+
+sim::gmc::RunOutcome
+replayRingConfig(const McConfig &mc, const sim::gmc::Schedule &schedule)
+{
+    McConfig ring = mc;
+    ring.useRings = true;
+    if (ring.ringEntries == 0)
+        ring.ringEntries = 1;
+    return sim::gmc::replay(scenario(ring), schedule);
 }
 
 sim::gmc::RunOutcome

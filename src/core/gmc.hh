@@ -53,10 +53,18 @@ struct McConfig
     /// Concurrent work-groups (one wavefront each); they write
     /// disjoint file offsets, so results are schedule-invariant.
     std::uint32_t groups = 1;
+    /// Ring submission mode (DESIGN.md §13): submissions ride the
+    /// per-shard SQ, completions the CQ, instead of per-slot doorbells.
+    bool useRings = false;
+    /// SQ/CQ capacity when rings are on. Capacity 1 keeps the
+    /// claim-full / publish-order contention paths reachable under
+    /// exhaustive exploration while the clean protocol stays live.
+    std::uint32_t ringEntries = 1;
     /// Seeded protocol mutants (all off = the shipped protocol).
     GenesysParams::GsanTestHooks hooks{};
 
-    /** Stable identifier, e.g. "wg-strong-block-poll-1x1g1". */
+    /** Stable identifier, e.g. "wg-strong-block-poll-1x1g1"
+     *  ("-ring<E>" appended in ring mode). */
     std::string name() const;
 };
 
@@ -108,6 +116,26 @@ exploreNetConfig(const McConfig &mc,
 /** Re-execute one schedule of this config's netScenario. */
 sim::gmc::RunOutcome replayNetConfig(const McConfig &mc,
                                      const sim::gmc::Schedule &schedule);
+
+/**
+ * Ring-protocol scenario (DESIGN.md §13): scenario() with the SQ/CQ
+ * submission path forced on. The same workload and oracles apply —
+ * ring bugs manifest as "stuck" (a stranded batch or a waiter whose
+ * CQ signal fired before its slot completed never drains) or as gsan
+ * happens-before reports on the ring channel — plus an SQ-emptiness
+ * check in the quiescence oracle.
+ */
+sim::gmc::RunFn ringScenario(const McConfig &mc);
+
+/** explore() over this config's ringScenario. */
+sim::gmc::ExploreResult
+exploreRingConfig(const McConfig &mc,
+                  const sim::gmc::ExploreOptions &opts);
+
+/** Re-execute one schedule of this config's ringScenario. */
+sim::gmc::RunOutcome
+replayRingConfig(const McConfig &mc,
+                 const sim::gmc::Schedule &schedule);
 
 } // namespace genesys::core::gmc
 

@@ -49,6 +49,11 @@ class GenesysHost
         return params_.coalesceMaxBatch;
     }
 
+    /** The host's live parameter block, shared by reference with the
+     *  backends: knobs written through sysfs (coalescing, ring
+     *  consumer lingering) take effect on the next arrival. */
+    GenesysParams &params() { return params_; }
+
     /** GPU interrupt entry point (registered as the device sink),
      *  routed to the active ServiceBackend. */
     void onGpuInterrupt(std::uint32_t cu, std::uint32_t hw_wave_slot);
@@ -109,6 +114,13 @@ class GenesysHost
     std::uint64_t inFlight() const { return interrupt_->inFlight(); }
     /** Fault recoveries the host performed for non-blocking slots. */
     std::uint64_t hostRestarts() const { return core_->hostRestarts(); }
+    /** Ring mode: doorbells elided by the pending-consumer filter. */
+    std::uint64_t ringDoorbellsSuppressed() const
+    {
+        return interrupt_->ringDoorbellsSuppressed();
+    }
+    /** Ring mode: completion events posted to shard CQs. */
+    std::uint64_t ringCqPosted() const { return core_->cqPosted(); }
 
     /** The shared slot scanner/executor (backend plumbing). */
     ServiceCore &serviceCore() { return *core_; }

@@ -45,6 +45,28 @@ struct GenesysParams
     /// Shard -> workqueue-worker steering policy.
     SteeringPolicy steering = SteeringPolicy::ShardAffinity;
 
+    /// Ring-based submission (DESIGN.md §13): each shard gets a
+    /// submission queue (SQ) of slot indices and a completion queue
+    /// (CQ); wavefronts publish a batch and ring one doorbell per
+    /// batch, the host consumes in bulk and posts completion events.
+    /// Off (the default) preserves the paper's per-slot doorbell path
+    /// bit-identically (pinned by tests/test_timing_parity.cc).
+    bool useRings = false;
+    /// SQ/CQ entries per shard. Need not be a power of two.
+    std::uint32_t ringEntries = 64;
+    /// Ring mode: after draining its shard's SQ, the consume task
+    /// lingers this long polling for more batches before retiring
+    /// (the SPDK poll-mode service shape). Entries published while it
+    /// lingers are picked up within one poll slice and skip the whole
+    /// doorbell/interrupt/wakeup pipeline — their doorbells are
+    /// suppressed. 0 retires the consumer as soon as the SQ is dry
+    /// (the model checker runs with 0 to keep schedules bounded).
+    Tick ringConsumerGrace = ticks::us(30);
+    /// Poll cadence of a lingering consume task. The CPU core is
+    /// released across each idle slice, so lingering consumers do not
+    /// starve the service chunks (or other shards' consumers).
+    Tick ringConsumerPoll = ticks::ns(500);
+
     /// GPU-side polling cadence while waiting for slot completion.
     std::uint64_t pollIntervalCycles = 200;
 
@@ -104,6 +126,26 @@ struct GenesysParams
         /// the result (complete()). The woken wave's sweep finds the
         /// slot still Processing and halts again — a lost wakeup.
         bool wakeBeforeComplete = false;
+        /// gmc ring mutant: skip the batch doorbell when the SQ was
+        /// observed non-empty before the claim ("someone else's
+        /// doorbell covers us"). The sample is stale by publish time;
+        /// an adversarial schedule drains the observed entry first and
+        /// strands the batch with no consumer.
+        bool ringDropDoorbell = false;
+        /// gmc ring mutant: post the CQ completion event (and yield)
+        /// before servicing the SQ entry. A polling waiter that
+        /// observes the CQ tail advance re-sweeps once, finds its slot
+        /// unfinished, and never re-sweeps without a further event.
+        bool ringCompleteBeforePublish = false;
+        /// gmc ring mutant: cache the SQ head observation across
+        /// claim retries instead of re-reading the counter line. Once
+        /// the ring looks full the producer spins forever on space the
+        /// consumer has long since freed.
+        bool ringStaleHead = false;
+        /// gsan ring bug: the host reads the oldest SQ entry without
+        /// the consume acquire, so the producer's publish is not
+        /// ordered before the read (ring payload race).
+        bool ringRacySqConsume = false;
     };
     GsanTestHooks gsanTest;
 };

@@ -175,6 +175,98 @@ SyscallArea::SyscallArea(const gpu::GpuConfig &gpu_config,
     cusPerShard_ = numCus_ / shardCount_;
     issued_.assign(shardCount_, 0);
     processed_.assign(shardCount_, 0);
+    const std::uint32_t entries =
+        params_.ringEntries == 0 ? 1 : params_.ringEntries;
+    sqRings_.reserve(shardCount_);
+    cqRings_.reserve(shardCount_);
+    for (std::uint32_t s = 0; s < shardCount_; ++s) {
+        sqRings_.emplace_back(entries);
+        cqRings_.emplace_back(entries);
+    }
+    ringBatches_.assign(shardCount_, 0);
+    ringEntriesSubmitted_.assign(shardCount_, 0);
+}
+
+SyscallRing &
+SyscallArea::sq(std::uint32_t shard)
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return sqRings_[shard];
+}
+
+SyscallRing &
+SyscallArea::cq(std::uint32_t shard)
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return cqRings_[shard];
+}
+
+const SyscallRing &
+SyscallArea::sq(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return sqRings_[shard];
+}
+
+const SyscallRing &
+SyscallArea::cq(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return cqRings_[shard];
+}
+
+mem::Addr
+SyscallArea::sqAddr(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return params_.syscallAreaBase + areaBytes() +
+           std::uint64_t(shardCount_ + shard) * params_.slotBytes;
+}
+
+mem::Addr
+SyscallArea::cqAddr(std::uint32_t shard) const
+{
+    GENESYS_ASSERT(shard < shardCount_, "shard %u out of range", shard);
+    return params_.syscallAreaBase + areaBytes() +
+           std::uint64_t(2 * shardCount_ + shard) * params_.slotBytes;
+}
+
+bool
+SyscallArea::ringsIdle() const
+{
+    for (const auto &sq : sqRings_) {
+        if (!sq.empty())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+SyscallArea::ringBatchesTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto b : ringBatches_)
+        n += b;
+    return n;
+}
+
+std::uint64_t
+SyscallArea::ringEntriesTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto e : ringEntriesSubmitted_)
+        n += e;
+    return n;
+}
+
+double
+SyscallArea::ringBatchOccupancy() const
+{
+    const std::uint64_t batches = ringBatchesTotal();
+    if (batches == 0)
+        return 0.0;
+    return static_cast<double>(ringEntriesTotal()) /
+           static_cast<double>(batches);
 }
 
 std::uint32_t
@@ -241,6 +333,10 @@ SyscallArea::attachSanitizer(gsan::Sanitizer *gsan)
 {
     for (std::uint32_t i = 0; i < slots_.size(); ++i)
         slots_[i].attachSanitizer(gsan, i);
+    for (std::uint32_t s = 0; s < shardCount_; ++s) {
+        sqRings_[s].attachSanitizer(gsan, sqRingKey(s));
+        cqRings_[s].attachSanitizer(gsan, cqRingKey(s));
+    }
 }
 
 mem::Addr

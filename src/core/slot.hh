@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/params.hh"
+#include "core/ring.hh"
 #include "gpu/gpu.hh"
 #include "osk/syscalls.hh"
 #include "support/types.hh"
@@ -229,6 +230,56 @@ class SyscallArea
     /** Per-shard quiescence: every slot of @p shard is Free. */
     bool quiescent(std::uint32_t shard) const;
 
+    // --- per-shard SQ/CQ rings (DESIGN.md §13) ---------------------
+    /** Ring submission enabled (params.useRings)? Geometry is always
+     *  constructed so tests can poke rings without the mode switch. */
+    bool ringsEnabled() const { return params_.useRings; }
+
+    SyscallRing &sq(std::uint32_t shard);
+    SyscallRing &cq(std::uint32_t shard);
+    const SyscallRing &sq(std::uint32_t shard) const;
+    const SyscallRing &cq(std::uint32_t shard) const;
+
+    /** gmc/gsan channel keys: SQs are even, CQs odd. */
+    std::uint64_t sqRingKey(std::uint32_t shard) const
+    {
+        return 2ull * shard;
+    }
+    std::uint64_t cqRingKey(std::uint32_t shard) const
+    {
+        return 2ull * shard + 1;
+    }
+
+    /**
+     * Modeled addresses of each ring's counter cache line, laid out
+     * after the doorbell lines (one line per ring; entries share the
+     * counter line for modeling purposes — a batch is index-sized).
+     */
+    mem::Addr sqAddr(std::uint32_t shard) const;
+    mem::Addr cqAddr(std::uint32_t shard) const;
+
+    /** True when every shard's SQ has no published, unconsumed entry. */
+    bool ringsIdle() const;
+
+    // --- per-shard ring stats --------------------------------------
+    void noteRingBatch(std::uint32_t shard, std::uint32_t entries)
+    {
+        ++ringBatches_[shard];
+        ringEntriesSubmitted_[shard] += entries;
+    }
+    std::uint64_t ringBatchesOnShard(std::uint32_t shard) const
+    {
+        return ringBatches_[shard];
+    }
+    std::uint64_t ringEntriesOnShard(std::uint32_t shard) const
+    {
+        return ringEntriesSubmitted_[shard];
+    }
+    std::uint64_t ringBatchesTotal() const;
+    std::uint64_t ringEntriesTotal() const;
+    /** Mean entries per published SQ batch (0 when no batch yet). */
+    double ringBatchOccupancy() const;
+
     // --- per-shard stats -------------------------------------------
     void noteIssued(std::uint32_t shard) { ++issued_[shard]; }
     void noteProcessed(std::uint32_t shard) { ++processed_[shard]; }
@@ -241,7 +292,8 @@ class SyscallArea
         return processed_[shard];
     }
 
-    /** Attach the sanitizer to every slot (id = slot index). */
+    /** Attach the sanitizer to every slot (id = slot index) and to
+     *  every ring (key = sqRingKey/cqRingKey). */
     void attachSanitizer(gsan::Sanitizer *gsan);
 
   private:
@@ -254,6 +306,10 @@ class SyscallArea
     std::vector<SyscallSlot> slots_;
     std::vector<std::uint64_t> issued_;
     std::vector<std::uint64_t> processed_;
+    std::vector<SyscallRing> sqRings_;
+    std::vector<SyscallRing> cqRings_;
+    std::vector<std::uint64_t> ringBatches_;
+    std::vector<std::uint64_t> ringEntriesSubmitted_;
 };
 
 } // namespace genesys::core

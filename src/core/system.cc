@@ -56,6 +56,7 @@ System::System(const SystemConfig &config)
     installGsanSysfs();
     installShardSysfs();
     installNetSysfs();
+    installRingSysfs();
 
     // GENESYS_GSAN=1 turns the sanitizer on for a whole test/bench
     // run without touching code (the gsan-enabled CI job uses this).
@@ -231,6 +232,76 @@ System::installNetSysfs()
     }
 }
 
+void
+System::installRingSysfs()
+{
+    // Ring submission knob surface (DESIGN.md §13): mode/geometry plus
+    // per-shard SQ/CQ cursors and batch counters, beside the shard
+    // dirs. Mode and geometry are fixed at construction (rings are
+    // sized with the area), so both files are read-only.
+    auto ro = [this](const std::string &path,
+                     std::function<std::uint64_t()> read) {
+        kernel_->vfs().install(
+            path, std::make_shared<osk::SysfsFile>(
+                      std::move(read),
+                      [](std::uint64_t) { return false; }));
+    };
+    SyscallArea *area = area_.get();
+    GenesysHost *host = host_.get();
+    GpuSyscalls *client = client_.get();
+    ro("/sys/genesys/rings/enabled",
+       [area] { return area->ringsEnabled() ? 1ull : 0ull; });
+    ro("/sys/genesys/rings/entries",
+       [area] { return std::uint64_t(area->sq(0).capacity()); });
+    ro("/sys/genesys/rings/batches",
+       [area] { return area->ringBatchesTotal(); });
+    ro("/sys/genesys/rings/entries_submitted",
+       [area] { return area->ringEntriesTotal(); });
+    ro("/sys/genesys/rings/doorbells_suppressed",
+       [host] { return host->ringDoorbellsSuppressed(); });
+    ro("/sys/genesys/rings/cq_posted",
+       [host] { return host->ringCqPosted(); });
+    ro("/sys/genesys/rings/sq_full_retries",
+       [client] { return client->ringFullRetries(); });
+    // Consumer lingering knobs are runtime-writable (like the
+    // coalescing window): the next consume task reads them live.
+    GenesysParams *gp = &host_->params();
+    kernel_->vfs().install(
+        "/sys/genesys/rings/consumer_grace_ns",
+        std::make_shared<osk::SysfsFile>(
+            [gp]() -> std::uint64_t { return gp->ringConsumerGrace; },
+            [gp](std::uint64_t v) {
+                gp->ringConsumerGrace = v;
+                return true;
+            }));
+    kernel_->vfs().install(
+        "/sys/genesys/rings/consumer_poll_ns",
+        std::make_shared<osk::SysfsFile>(
+            [gp]() -> std::uint64_t { return gp->ringConsumerPoll; },
+            [gp](std::uint64_t v) {
+                gp->ringConsumerPoll = v;
+                return true;
+            }));
+    for (std::uint32_t s = 0; s < area_->shardCount(); ++s) {
+        const std::string dir =
+            logging::format("/sys/genesys/rings/%u/", s);
+        ro(dir + "sq_head",
+           [area, s] { return area->sq(s).loadHeadAcquire(); });
+        ro(dir + "sq_tail",
+           [area, s] { return area->sq(s).loadTailAcquire(); });
+        ro(dir + "cq_head",
+           [area, s] { return area->cq(s).loadHeadAcquire(); });
+        ro(dir + "cq_tail",
+           [area, s] { return area->cq(s).loadTailAcquire(); });
+        ro(dir + "batches",
+           [area, s] { return area->ringBatchesOnShard(s); });
+        ro(dir + "entries",
+           [area, s] { return area->ringEntriesOnShard(s); });
+        ro(dir + "cq_reclaims",
+           [area, s] { return area->cq(s).reclaims(); });
+    }
+}
+
 sim::Task<>
 System::launchDrainTask(gpu::KernelLaunch launch)
 {
@@ -269,6 +340,16 @@ System::statsReport() const
          static_cast<double>(host_->hostRestarts()));
     line("genesys.area_shards",
          static_cast<double>(area_->shardCount()));
+    line("genesys.rings_enabled", area_->ringsEnabled() ? 1.0 : 0.0);
+    line("genesys.ring_batches",
+         static_cast<double>(area_->ringBatchesTotal()));
+    line("genesys.ring_entries",
+         static_cast<double>(area_->ringEntriesTotal()));
+    line("genesys.ring_batch_occupancy", area_->ringBatchOccupancy());
+    line("genesys.ring_doorbells_suppressed",
+         static_cast<double>(host_->ringDoorbellsSuppressed()));
+    line("genesys.ring_cq_posted",
+         static_cast<double>(host_->ringCqPosted()));
     line("osk.faults_injected",
          static_cast<double>(kernel_->faults().injected()));
     line("gsan.enabled", gsan_->enabled() ? 1.0 : 0.0);

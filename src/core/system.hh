@@ -103,6 +103,7 @@ class System
     void installGsanSysfs();
     void installShardSysfs();
     void installNetSysfs();
+    void installRingSysfs();
 
     SystemConfig config_;
     std::unique_ptr<sim::Sim> sim_;

@@ -53,6 +53,9 @@ Probe::describe(ProbeKey key)
       case ProbeKind::Core:
         name = "core";
         break;
+      case ProbeKind::Ring:
+        name = "ring";
+        break;
     }
     return format("%s:%llu", name, static_cast<unsigned long long>(id));
 }

@@ -35,6 +35,7 @@ enum class ProbeKind : std::uint8_t
     Worker = 3,   ///< one workqueue worker's queue (id = worker index)
     Wave = 4,     ///< one wavefront's halt/resume word (id = hw slot)
     Core = 5,     ///< the CPU core grant (id unused, always 0)
+    Ring = 6,     ///< one SQ/CQ counter line (id = 2*shard [+1 for CQ])
 };
 
 /** Packed footprint key: kind in the top byte, object id below. */

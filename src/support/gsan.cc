@@ -181,6 +181,7 @@ Sanitizer::reset()
     wakeChannel_.clear();
     droppedWakes_.clear();
     epollChannels_.clear();
+    ringChannels_.clear();
     reports_.clear();
     totalReports_ = 0;
     for (auto &n : byKind_)
@@ -428,6 +429,88 @@ Sanitizer::epollNotify(std::uint64_t key)
     if (actor_ != kNoThread) {
         join(ch.clock, thread(actor_).clock);
         tick(actor_);
+    }
+}
+
+// ---- SQ/CQ ring channel ------------------------------------------------
+
+void
+Sanitizer::ringPublish(std::uint64_t key, std::uint64_t entries)
+{
+    if (!enabled_ || actor_ == kNoThread)
+        return;
+    RingChannel &ch = ringChannels_[key];
+    ThreadState &ts = thread(actor_);
+    join(ch.clock, ts.clock);
+    ch.lastPublish = {actor_, ts.clock[actor_]};
+    ch.lastPublisher = ts.name;
+    ch.published += entries;
+    tick(actor_);
+}
+
+void
+Sanitizer::ringDoorbell(std::uint64_t key)
+{
+    if (!enabled_ || actor_ == kNoThread)
+        return;
+    // The doorbell releases too: a consumer woken by it must observe
+    // everything published before it rang.
+    RingChannel &ch = ringChannels_[key];
+    join(ch.clock, thread(actor_).clock);
+    tick(actor_);
+}
+
+void
+Sanitizer::ringConsume(std::uint64_t key)
+{
+    if (!enabled_ || actor_ == kNoThread)
+        return;
+    RingChannel &ch = ringChannels_[key];
+    if (ch.consumed + 1 > ch.published) {
+        report(ReportKind::OrderingViolation,
+               format("ring %llu: %s consumes entry %llu but only "
+                      "%llu publish(es) happened; the consume "
+                      "overtakes the publish",
+                      static_cast<unsigned long long>(key),
+                      threadName(actor_).c_str(),
+                      static_cast<unsigned long long>(ch.consumed),
+                      static_cast<unsigned long long>(ch.published)));
+    }
+    ++ch.consumed;
+    join(thread(actor_).clock, ch.clock);
+    tick(actor_);
+}
+
+void
+Sanitizer::ringObserve(std::uint64_t key)
+{
+    if (!enabled_ || actor_ == kNoThread)
+        return;
+    // Pure acquire: a waiter's baseline tail read legitimately
+    // precedes the first publish, so no overtake check here.
+    RingChannel &ch = ringChannels_[key];
+    join(thread(actor_).clock, ch.clock);
+    tick(actor_);
+}
+
+void
+Sanitizer::ringConsumeRacy(std::uint64_t key)
+{
+    if (!enabled_ || actor_ == kNoThread)
+        return;
+    RingChannel &ch = ringChannels_[key];
+    const ThreadState &ts = thread(actor_);
+    if (ch.lastPublish.tid != actor_ &&
+        !ordered(ch.lastPublish, ts.clock)) {
+        report(ReportKind::PayloadRace,
+               format("ring %llu: %s reads an entry with no "
+                      "happens-before edge from %s's publish (entry "
+                      "consumed without the ring acquire)",
+                      static_cast<unsigned long long>(key),
+                      ts.name.c_str(),
+                      ch.lastPublisher.empty()
+                          ? "?"
+                          : ch.lastPublisher.c_str()));
     }
 }
 

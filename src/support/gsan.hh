@@ -170,6 +170,33 @@ class Sanitizer
     /** A readiness event fired on instance @p key (sender = actor). */
     void epollNotify(std::uint64_t key);
 
+    // ---- SQ/CQ ring channel (DESIGN.md §13) -----------------------
+    /**
+     * The actor release-published @p entries entries on ring @p key
+     * (tail advance): its clock joins the ring's channel clock and the
+     * publish is recorded as the channel's last release epoch.
+     */
+    void ringPublish(std::uint64_t key, std::uint64_t entries);
+    /** The actor rang the batch doorbell for ring @p key (release). */
+    void ringDoorbell(std::uint64_t key);
+    /**
+     * The actor acquire-consumed the oldest entry of ring @p key
+     * (head advance). Reports an OrderingViolation if consumes
+     * overtake publishes.
+     */
+    void ringConsume(std::uint64_t key);
+    /**
+     * The actor acquire-observed ring @p key's published tail without
+     * consuming (a CQ waiter noticing the completion counter moved).
+     */
+    void ringObserve(std::uint64_t key);
+    /**
+     * The actor read an entry of ring @p key WITHOUT an acquire.
+     * Reports a PayloadRace unless the last publish already
+     * happens-before the actor (seeded-bug hook; never a clean path).
+     */
+    void ringConsumeRacy(std::uint64_t key);
+
     // ---- ordering contract (work-group granularity) ---------------
     void invocationBegin(ThreadId t, bool need_pre_barrier, int sysno,
                          const char *ordering);
@@ -259,6 +286,15 @@ class Sanitizer
         std::map<std::uint64_t, std::uint64_t> seen;
     };
     std::unordered_map<std::uint64_t, EpollChannel> epollChannels_;
+    struct RingChannel
+    {
+        Clock clock;
+        std::uint64_t published = 0; ///< publish events so far
+        std::uint64_t consumed = 0;  ///< consume events so far
+        Epoch lastPublish;
+        std::string lastPublisher;
+    };
+    std::unordered_map<std::uint64_t, RingChannel> ringChannels_;
 
     std::vector<Report> reports_;
     std::uint64_t totalReports_ = 0;

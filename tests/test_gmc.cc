@@ -331,4 +331,135 @@ TEST(GmcNet, HaltResumeBoundedExplorationIsClean)
     }
 }
 
+// --------------------------------------- SQ/CQ ring exploration
+
+/** Ring analogue of expectMutantCaught: explore the ringScenario of
+ *  @p mc, require a counterexample of kind @p kind, then replay its
+ *  schedule twice and require identical outcomes. */
+void
+expectRingMutantCaught(McConfig mc, const char *kind)
+{
+    LeakWaiver waiver;
+    ExploreOptions opts;
+    opts.maxCounterexamples = 1;
+    const ExploreResult r = core::gmc::exploreRingConfig(mc, opts);
+    ASSERT_FALSE(r.violations.empty())
+        << mc.name() << ": ring mutant not found";
+    const auto &cx = r.violations.front();
+    EXPECT_EQ(cx.outcome.kind, kind)
+        << "schedule " << sim::gmc::renderSchedule(cx.schedule) << ": "
+        << cx.outcome.detail;
+
+    const RunOutcome once =
+        core::gmc::replayRingConfig(mc, cx.schedule);
+    const RunOutcome twice =
+        core::gmc::replayRingConfig(mc, cx.schedule);
+    EXPECT_TRUE(once.violation);
+    EXPECT_EQ(once.kind, cx.outcome.kind);
+    EXPECT_EQ(once.kind, twice.kind);
+    EXPECT_EQ(once.detail, twice.detail);
+    EXPECT_EQ(once.endTick, twice.endTick);
+    EXPECT_EQ(once.events, twice.events);
+}
+
+TEST(GmcRing, NameCarriesRingSuffix)
+{
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const std::string plain = mc.name();
+    mc.useRings = true;
+    mc.ringEntries = 4;
+    EXPECT_EQ(mc.name(), plain + "-ring4");
+}
+
+TEST(GmcRing, FifoRunIsCleanAndDeterministic)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const RunOutcome a = core::gmc::replayRingConfig(mc, {});
+    const RunOutcome b = core::gmc::replayRingConfig(mc, {});
+    EXPECT_FALSE(a.violation) << a.kind << ": " << a.detail;
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.events, b.events);
+    // Ring submission changes the event structure, so the digest must
+    // differ from the slot-doorbell run of the same config — proof the
+    // scenario actually went through the rings.
+    const RunOutcome slots = core::gmc::replayConfig(mc, {});
+    EXPECT_NE(a.digest, slots.digest);
+}
+
+TEST(GmcRing, WorkGroupOneShardExhaustive)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const ExploreResult r = core::gmc::exploreRingConfig(mc, {});
+    EXPECT_TRUE(r.stats.exhaustive);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " ring schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcRing, WorkItemOneShardExhaustive)
+{
+    // Work-item granularity submits wavefront-sized batches through
+    // the single-entry model ring, so every chunk exercises the
+    // SQ-full claim-retry path and the multi-batch doorbell decision.
+    const McConfig mc =
+        baseConfig(Granularity::WorkItem, WaitMode::Polling);
+    const ExploreResult r = core::gmc::exploreRingConfig(mc, {});
+    EXPECT_TRUE(r.stats.exhaustive);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " ring schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcRingMutant, DroppedDoorbellStrandsBatch)
+{
+    // The mutant samples SQ occupancy once at chunk start and skips
+    // the doorbell whenever the ring looked non-empty. With chunked
+    // work-item submission the consumer can drain the sampled entries
+    // and go idle before the next chunk publishes — that chunk's
+    // doorbell is the only wake-up, and it never rings.
+    McConfig mc = baseConfig(Granularity::WorkItem, WaitMode::Polling);
+    mc.hooks.ringDropDoorbell = true;
+    expectRingMutantCaught(mc, "stuck");
+}
+
+TEST(GmcRingMutant, CompletionBeforePublishStrandsWaiter)
+{
+    // The mutant posts the CQE and yields before servicing the entry.
+    // FIFO hides it (the service continuation runs before the waiter's
+    // next poll); gmc must find the order where the waiter observes
+    // the tail advance, re-sweeps a still-unfinished slot, and then
+    // elides every later sweep because the tail never moves again.
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    mc.hooks.ringCompleteBeforePublish = true;
+
+    {
+        LeakWaiver waiver;
+        const RunOutcome fifo = core::gmc::replayRingConfig(mc, {});
+        EXPECT_FALSE(fifo.violation)
+            << "FIFO already catches it: " << fifo.kind;
+    }
+    expectRingMutantCaught(mc, "stuck");
+}
+
+TEST(GmcRingMutant, StaleHeadReadSpinsOnFullRing)
+{
+    // The mutant never refreshes its observed head across claim
+    // retries. The second chunk of a work-item batch finds the
+    // single-entry ring full, and — with the head observation frozen
+    // before the consumer's pop — retries forever on a ring that is
+    // actually empty.
+    McConfig mc = baseConfig(Granularity::WorkItem, WaitMode::Polling);
+    mc.hooks.ringStaleHead = true;
+    expectRingMutantCaught(mc, "stuck");
+}
+
 } // namespace

@@ -765,6 +765,130 @@ TEST(GsanEndToEnd, EpollWaitWithoutSeededGapIsReportFree)
     EXPECT_EQ(rig.gsan.reportCount(), 0u);
 }
 
+// ---------------------------------- SQ/CQ ring channel (§13)
+
+TEST(GsanRing, CleanPublishDoorbellConsumeChainHasNoReports)
+{
+    Sanitizer g;
+    g.setEnabled(true);
+    const auto wave = g.waveThread(0);
+    const auto cpu = g.workerThread(0);
+    g.setActor(wave);
+    g.ringPublish(/*key=*/0, /*entries=*/2); // one batch, two entries
+    g.ringDoorbell(0);
+    g.setActor(cpu);
+    g.ringConsume(0);
+    g.ringConsume(0);
+    g.setActor(wave);
+    g.ringObserve(1); // CQ waiter baseline read before any publish
+    EXPECT_EQ(g.reportCount(), 0u);
+}
+
+TEST(GsanRing, ConsumeOvertakingPublishIsReported)
+{
+    Sanitizer g;
+    g.setEnabled(true);
+    const auto wave = g.waveThread(0);
+    const auto cpu = g.workerThread(0);
+    g.setActor(wave);
+    g.ringPublish(0, 1);
+    g.setActor(cpu);
+    g.ringConsume(0);
+    g.ringConsume(0); // second consume: only one publish happened
+    EXPECT_EQ(g.countOf(ReportKind::OrderingViolation), 1u);
+    EXPECT_NE(g.renderReports().find("overtakes the publish"),
+              std::string::npos);
+}
+
+TEST(GsanRing, RacyEntryReadWithoutAcquireIsReported)
+{
+    Sanitizer g;
+    g.setEnabled(true);
+    const auto wave = g.waveThread(0);
+    const auto cpu = g.workerThread(0);
+    g.setActor(wave);
+    g.ringPublish(0, 1);
+    g.setActor(cpu);
+    // Entry read with no ringConsume acquire first: the publish is
+    // not ordered before it.
+    g.ringConsumeRacy(0);
+    EXPECT_EQ(g.countOf(ReportKind::PayloadRace), 1u);
+    EXPECT_NE(g.renderReports().find("no happens-before edge"),
+              std::string::npos);
+
+    // After a proper acquire the same read is ordered — the check is
+    // happens-before-based, not unconditional.
+    g.ringConsume(0);
+    g.ringConsumeRacy(0);
+    EXPECT_EQ(g.countOf(ReportKind::PayloadRace), 1u);
+}
+
+TEST(GsanRing, CleanRingRunsAreReportFreeOnBothBackends)
+{
+    for (const bool daemon : {false, true}) {
+        SystemConfig cfg = smallConfig();
+        cfg.genesys.useRings = true;
+        cfg.genesys.ringEntries = 8;
+        System sys(cfg);
+        sys.gsan().setEnabled(true);
+        sys.kernel().vfs().createFile("/ring");
+        if (daemon)
+            sys.host().startPollingDaemon(ticks::us(5));
+        gpu::KernelLaunch k;
+        k.workItems = 128; // one work-group, two waves
+        k.wgSize = 128;
+        k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+            auto i = inv(Granularity::WorkGroup, Ordering::Strong,
+                         Blocking::Blocking);
+            const auto fd =
+                co_await sys.gpuSys().open(ctx, i, "/ring", 1);
+            co_await sys.gpuSys().pwrite(ctx, i,
+                                         static_cast<int>(fd), "r", 1,
+                                         0);
+            co_await sys.gpuSys().close(ctx, i,
+                                        static_cast<int>(fd));
+        };
+        if (daemon) {
+            sys.launchGpu(std::move(k));
+            sys.run(ticks::ms(50));
+            sys.host().stopDaemon();
+            sys.run();
+        } else {
+            sys.launchGpuAndDrain(std::move(k));
+            sys.run();
+        }
+        EXPECT_EQ(sys.gsan().reportCount(), 0u)
+            << (daemon ? "daemon" : "interrupt") << " backend:\n"
+            << sys.gsan().renderReports();
+        EXPECT_GT(sys.syscallArea().ringBatchesTotal(), 0u);
+    }
+}
+
+TEST(GsanRing, SeededRacySqConsumeIsDetected)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.genesys.useRings = true;
+    cfg.genesys.gsanTest.ringRacySqConsume = true;
+    System sys(cfg);
+    sys.gsan().setEnabled(true);
+    gpu::KernelLaunch k;
+    k.workItems = 128;
+    k.wgSize = 128;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        osk::RUsage ru{};
+        co_await sys.gpuSys().getrusage(
+            ctx,
+            inv(Granularity::WorkGroup, Ordering::Strong,
+                Blocking::Blocking),
+            &ru);
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+    EXPECT_GE(sys.gsan().countOf(ReportKind::PayloadRace), 1u);
+    EXPECT_NE(sys.gsan().renderReports().find("ring"),
+              std::string::npos);
+}
+
 TEST(GsanSysfs, EnvironmentVariableEnablesSanitizer)
 {
     ::setenv("GENESYS_GSAN", "1", 1);

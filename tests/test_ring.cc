@@ -1,0 +1,657 @@
+/**
+ * @file
+ * SQ/CQ ring protocol tests (DESIGN.md §13).
+ *
+ * Part 1 is a property suite over SyscallRing geometry: free-running
+ * counters at non-power-of-two capacities, full/empty disambiguation
+ * by counter distance, claim-order publishing under interleaved
+ * producers, observed-head conservatism, and a randomized
+ * model-equivalence check against a reference FIFO.
+ *
+ * Part 2 runs syscalls end to end through the rings on both service
+ * backends (interrupt ring mode with doorbell suppression, and the
+ * polling daemon's polled-completion mode), checks the batch/occupancy
+ * stats and the /sys/genesys/rings knob surface, and pins that the
+ * default (ring-off) configuration leaves the rings untouched.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/ring.hh"
+#include "core/system.hh"
+#include "support/logging.hh"
+
+namespace genesys::core
+{
+namespace
+{
+
+// ======================================================= part 1: ring
+
+TEST(RingGeometry, StartsEmptyWithRequestedCapacity)
+{
+    SyscallRing r(5);
+    EXPECT_EQ(r.capacity(), 5u);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.full());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.claimedInFlight(), 0u);
+    EXPECT_EQ(r.publishedTotal(), 0u);
+    EXPECT_EQ(r.consumedTotal(), 0u);
+}
+
+TEST(RingGeometry, ClaimPublishConsumeRoundTrip)
+{
+    SyscallRing r(8);
+    const auto base = r.tryClaim(3, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    EXPECT_EQ(*base, 0u);
+    EXPECT_EQ(r.claimedInFlight(), 3u);
+    EXPECT_EQ(r.size(), 0u) << "claimed but unpublished is not visible";
+    for (std::uint32_t i = 0; i < 3; ++i)
+        r.writeEntry(*base + i, 100 + i);
+    EXPECT_TRUE(r.tryPublish(*base, 3));
+    EXPECT_EQ(r.size(), 3u);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_EQ(r.popHead(), 100 + i) << "FIFO order";
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(RingGeometry, PeekAndPopAgreeOnTheOldestEntry)
+{
+    // entryAt() peeks a published position without consuming it;
+    // popHead() then returns the same value and advances head.
+    SyscallRing r(2);
+    const auto base = r.tryClaim(1, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    r.writeEntry(*base, 77);
+    ASSERT_TRUE(r.tryPublish(*base, 1));
+    EXPECT_EQ(r.entryAt(r.loadHeadAcquire()), 77u);
+    EXPECT_EQ(r.size(), 1u) << "peek does not consume";
+    EXPECT_EQ(r.popHead(), 77u);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(RingGeometry, NonPowerOfTwoCapacityWrapsByModulo)
+{
+    for (std::uint32_t cap : {3u, 5u, 7u}) {
+        SyscallRing r(cap);
+        std::uint32_t next = 0;
+        // Many rounds of publish-2 / consume-2 walk the free-running
+        // counters far past the capacity; index = pos % capacity keeps
+        // FIFO order with no power-of-two masking.
+        for (int round = 0; round < 10; ++round) {
+            const auto base = r.tryClaim(2, r.loadHeadAcquire());
+            ASSERT_TRUE(base.has_value()) << "cap " << cap;
+            r.writeEntry(*base, next);
+            r.writeEntry(*base + 1, next + 1);
+            ASSERT_TRUE(r.tryPublish(*base, 2));
+            EXPECT_EQ(r.popHead(), next);
+            EXPECT_EQ(r.popHead(), next + 1);
+            next += 2;
+        }
+        EXPECT_EQ(r.publishedTotal(), 20u);
+        EXPECT_EQ(r.consumedTotal(), 20u);
+        EXPECT_EQ(r.indexOf(20), 20 % cap);
+        EXPECT_TRUE(r.empty());
+    }
+}
+
+TEST(RingGeometry, FullAndEmptyDisambiguatedByCounterDistance)
+{
+    SyscallRing r(4);
+    const auto base = r.tryClaim(4, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    for (std::uint32_t i = 0; i < 4; ++i)
+        r.writeEntry(*base + i, i);
+    ASSERT_TRUE(r.tryPublish(*base, 4));
+    // tail % capacity == head % capacity here; only the counter
+    // distance tells full from empty.
+    EXPECT_EQ(r.indexOf(r.loadTailAcquire()),
+              r.indexOf(r.loadHeadAcquire()));
+    EXPECT_TRUE(r.full());
+    EXPECT_FALSE(r.empty());
+    (void)r.popHead();
+    EXPECT_FALSE(r.full());
+    EXPECT_FALSE(r.empty());
+    (void)r.popHead();
+    (void)r.popHead();
+    (void)r.popHead();
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.full());
+}
+
+TEST(RingGeometry, ClaimFailsWhenObservedFull)
+{
+    SyscallRing r(2);
+    const auto base = r.tryClaim(2, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    EXPECT_FALSE(
+        r.tryClaim(1, r.loadHeadAcquire()).has_value());
+    ASSERT_TRUE(r.tryPublish(*base, 2));
+    EXPECT_FALSE(
+        r.tryClaim(1, r.loadHeadAcquire()).has_value());
+    (void)r.popHead();
+    EXPECT_TRUE(r.tryClaim(1, r.loadHeadAcquire()).has_value());
+}
+
+TEST(RingGeometry, StaleObservedHeadIsConservative)
+{
+    SyscallRing r(2);
+    const std::uint64_t stale_head = r.loadHeadAcquire();
+    auto base = r.tryClaim(2, stale_head);
+    ASSERT_TRUE(base.has_value());
+    ASSERT_TRUE(r.tryPublish(*base, 2));
+    (void)r.popHead();
+    (void)r.popHead();
+    // Space exists, but a producer still holding the pre-consume head
+    // sample must NOT claim it: stale observations under-report free
+    // space, they never overwrite live entries.
+    EXPECT_FALSE(r.tryClaim(1, stale_head).has_value());
+    EXPECT_TRUE(r.tryClaim(1, r.loadHeadAcquire()).has_value());
+}
+
+TEST(RingGeometry, PublishesAreInClaimOrder)
+{
+    SyscallRing r(8);
+    const auto a = r.tryClaim(2, r.loadHeadAcquire());
+    const auto b = r.tryClaim(3, r.loadHeadAcquire());
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*b, *a + 2);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        r.writeEntry(*b + i, 20 + i);
+    // B finished populating first but must wait for A's publish.
+    EXPECT_FALSE(r.tryPublish(*b, 3));
+    EXPECT_EQ(r.size(), 0u);
+    for (std::uint32_t i = 0; i < 2; ++i)
+        r.writeEntry(*a + i, 10 + i);
+    EXPECT_TRUE(r.tryPublish(*a, 2));
+    EXPECT_TRUE(r.tryPublish(*b, 3));
+    EXPECT_EQ(r.size(), 5u);
+    const std::uint32_t want[] = {10, 11, 20, 21, 22};
+    for (std::uint32_t w : want)
+        EXPECT_EQ(r.popHead(), w);
+}
+
+TEST(RingGeometry, InterleavedProducersKeepFifoOrder)
+{
+    SyscallRing r(7);
+    std::uint32_t next = 0;
+    std::vector<std::uint32_t> consumed;
+    for (int round = 0; round < 6; ++round) {
+        // Two producers claim back to back (2 then 3 entries), then
+        // publish in claim order; the consumer drains between rounds.
+        const auto a = r.tryClaim(2, r.loadHeadAcquire());
+        const auto b = r.tryClaim(3, r.loadHeadAcquire());
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        for (std::uint32_t i = 0; i < 2; ++i)
+            r.writeEntry(*a + i, next + i);
+        for (std::uint32_t i = 0; i < 3; ++i)
+            r.writeEntry(*b + i, next + 2 + i);
+        ASSERT_TRUE(r.tryPublish(*a, 2));
+        ASSERT_TRUE(r.tryPublish(*b, 3));
+        while (!r.empty())
+            consumed.push_back(r.popHead());
+        next += 5;
+    }
+    ASSERT_EQ(consumed.size(), 30u);
+    for (std::uint32_t i = 0; i < consumed.size(); ++i)
+        EXPECT_EQ(consumed[i], i);
+}
+
+TEST(RingGeometry, ClaimAccountsForUnpublishedReservations)
+{
+    SyscallRing r(4);
+    const auto a = r.tryClaim(3, r.loadHeadAcquire());
+    ASSERT_TRUE(a.has_value());
+    // Nothing is published (size 0), yet only one entry is claimable:
+    // claim fullness is measured against the reservation cursor.
+    EXPECT_FALSE(r.tryClaim(2, r.loadHeadAcquire()).has_value());
+    EXPECT_TRUE(r.tryClaim(1, r.loadHeadAcquire()).has_value());
+    EXPECT_EQ(r.claimedInFlight(), 4u);
+    EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RingGeometry, CapacityOneAlternates)
+{
+    SyscallRing r(1);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        const auto base = r.tryClaim(1, r.loadHeadAcquire());
+        ASSERT_TRUE(base.has_value());
+        EXPECT_EQ(*base, i);
+        EXPECT_FALSE(r.tryClaim(1, r.loadHeadAcquire()).has_value());
+        r.writeEntry(*base, i);
+        ASSERT_TRUE(r.tryPublish(*base, 1));
+        EXPECT_TRUE(r.full());
+        EXPECT_EQ(r.popHead(), i);
+        EXPECT_TRUE(r.empty());
+    }
+}
+
+TEST(RingGeometry, ReclaimOldestDropsWithoutConsuming)
+{
+    SyscallRing r(3);
+    const auto base = r.tryClaim(3, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    for (std::uint32_t i = 0; i < 3; ++i)
+        r.writeEntry(*base + i, i);
+    ASSERT_TRUE(r.tryPublish(*base, 3));
+    r.reclaimOldest();
+    EXPECT_EQ(r.reclaims(), 1u);
+    EXPECT_EQ(r.size(), 2u);
+    // The survivors are the younger entries.
+    EXPECT_EQ(r.popHead(), 1u);
+    EXPECT_EQ(r.popHead(), 2u);
+    // Reclaimed + consumed both advance head.
+    EXPECT_EQ(r.consumedTotal(), 3u);
+}
+
+TEST(RingGeometry, ProtocolMisusePanics)
+{
+    SyscallRing r(4);
+    EXPECT_THROW((void)r.popHead(), PanicError) << "pop on empty";
+    EXPECT_THROW((void)r.tryClaim(5, r.loadHeadAcquire()), PanicError)
+        << "claim beyond capacity";
+    EXPECT_THROW((void)r.tryClaim(0, r.loadHeadAcquire()), PanicError)
+        << "zero-entry claim";
+    const auto base = r.tryClaim(2, r.loadHeadAcquire());
+    ASSERT_TRUE(base.has_value());
+    EXPECT_THROW(r.writeEntry(*base + 2, 1), PanicError)
+        << "write outside the claimed range";
+    EXPECT_THROW((void)r.tryPublish(*base, 3), PanicError)
+        << "publish beyond the claim";
+    EXPECT_THROW((void)r.entryAt(0), PanicError)
+        << "read of an unpublished position";
+}
+
+TEST(RingGeometry, RandomOpsMatchReferenceFifo)
+{
+    // Property check: under arbitrary interleavings of claim / publish
+    // / consume at several (mostly non-power-of-two) capacities, the
+    // ring behaves exactly like a bounded FIFO.
+    for (std::uint32_t cap : {1u, 3u, 4u, 5u, 7u, 8u}) {
+        SyscallRing r(cap);
+        std::deque<std::uint32_t> model;
+        // Claims not yet published, in claim order: {base, n, value0}.
+        std::deque<std::array<std::uint64_t, 3>> pendingClaims;
+        std::mt19937 rng(1234 + cap);
+        std::uint32_t next = 0;
+        for (int op = 0; op < 2000; ++op) {
+            switch (rng() % 3) {
+              case 0: { // claim
+                const std::uint32_t n = 1 + rng() % cap;
+                const auto base = r.tryClaim(n, r.loadHeadAcquire());
+                const std::uint64_t in_flight =
+                    model.size() + [&pendingClaims] {
+                        std::uint64_t sum = 0;
+                        for (const auto &c : pendingClaims)
+                            sum += c[1];
+                        return sum;
+                    }();
+                if (in_flight + n > cap) {
+                    EXPECT_FALSE(base.has_value()) << "cap " << cap;
+                    break;
+                }
+                ASSERT_TRUE(base.has_value()) << "cap " << cap;
+                for (std::uint32_t i = 0; i < n; ++i)
+                    r.writeEntry(*base + i, next + i);
+                pendingClaims.push_back({*base, n, next});
+                next += n;
+                break;
+              }
+              case 1: { // publish the oldest pending claim
+                if (pendingClaims.empty())
+                    break;
+                const auto c = pendingClaims.front();
+                pendingClaims.pop_front();
+                ASSERT_TRUE(r.tryPublish(
+                    c[0], static_cast<std::uint32_t>(c[1])));
+                for (std::uint64_t i = 0; i < c[1]; ++i)
+                    model.push_back(
+                        static_cast<std::uint32_t>(c[2] + i));
+                break;
+              }
+              default: { // consume
+                ASSERT_EQ(r.empty(), model.empty());
+                if (model.empty())
+                    break;
+                EXPECT_EQ(r.popHead(), model.front());
+                model.pop_front();
+                break;
+              }
+            }
+            ASSERT_EQ(r.size(), model.size()) << "cap " << cap;
+            ASSERT_EQ(r.full(), model.size() == cap);
+        }
+    }
+}
+
+// ================================================ part 2: end to end
+
+SystemConfig
+ringConfig(std::uint32_t shards = 1, std::uint32_t ring_entries = 64)
+{
+    SystemConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.maxWavesPerCu = 8;
+    cfg.gpu.maxWorkGroupsPerCu = 4;
+    cfg.gpu.kernelLaunchLatency = ticks::us(5);
+    cfg.genesys.areaShards = shards;
+    cfg.genesys.useRings = true;
+    cfg.genesys.ringEntries = ring_entries;
+    return cfg;
+}
+
+Invocation
+wgInv(Blocking b = Blocking::Blocking,
+      WaitMode w = WaitMode::Polling)
+{
+    Invocation i;
+    i.granularity = Granularity::WorkGroup;
+    i.ordering = Ordering::Relaxed;
+    i.blocking = b;
+    i.waitMode = w;
+    return i;
+}
+
+/** One open + pwrite per work-group through the rings. */
+void
+runRingKernel(System &sys, std::uint32_t groups,
+              Blocking b = Blocking::Blocking,
+              WaitMode w = WaitMode::Polling)
+{
+    if (sys.kernel().vfs().resolve("/ring") == nullptr)
+        sys.kernel().vfs().createFile("/ring");
+    gpu::KernelLaunch k;
+    k.workItems = groups * 64;
+    k.wgSize = 64;
+    k.program = [&sys, b, w](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const auto fd = co_await sys.gpuSys().open(ctx, wgInv(b, w),
+                                                   "/ring", 1);
+        co_await sys.gpuSys().pwrite(ctx, wgInv(b, w),
+                                     static_cast<int>(fd), "r", 1,
+                                     ctx.workgroupId());
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+}
+
+TEST(RingE2E, InterruptBackendPollingWait)
+{
+    System sys(ringConfig());
+    sys.gsan().setEnabled(true);
+    runRingKernel(sys, 8);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    // Every syscall rode the SQ, and blocking completions rode the CQ.
+    EXPECT_EQ(sys.syscallArea().ringEntriesTotal(),
+              sys.host().processedSyscalls());
+    EXPECT_GT(sys.syscallArea().ringBatchesTotal(), 0u);
+    EXPECT_EQ(sys.host().ringCqPosted(),
+              sys.host().processedSyscalls());
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, InterruptBackendHaltResumeWait)
+{
+    // Halt/resume waiters keep the wake-on-complete path; only the
+    // submission side rides the ring.
+    System sys(ringConfig());
+    sys.gsan().setEnabled(true);
+    runRingKernel(sys, 8, Blocking::Blocking, WaitMode::HaltResume);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    EXPECT_EQ(sys.syscallArea().ringEntriesTotal(),
+              sys.host().processedSyscalls());
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, NonBlockingThroughRings)
+{
+    System sys(ringConfig());
+    sys.gsan().setEnabled(true);
+    runRingKernel(sys, 8, Blocking::NonBlocking);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, PollingDaemonPolledCompletionMode)
+{
+    System sys(ringConfig(2));
+    sys.gsan().setEnabled(true);
+    sys.host().startPollingDaemon(ticks::us(20));
+    sys.kernel().vfs().createFile("/ringd");
+    gpu::KernelLaunch k;
+    k.workItems = 8 * 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        const auto fd =
+            co_await sys.gpuSys().open(ctx, wgInv(), "/ringd", 1);
+        co_await sys.gpuSys().pwrite(ctx, wgInv(),
+                                     static_cast<int>(fd), "d", 1,
+                                     ctx.workgroupId());
+        if (ctx.workgroupId() == 0)
+            sys.host().stopDaemon();
+    };
+    sys.launchGpu(std::move(k));
+    sys.run();
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    // The daemon found every batch by polling the SQ, not doorbells.
+    EXPECT_EQ(sys.host().interrupts(), 0u);
+    EXPECT_EQ(sys.syscallArea().ringEntriesTotal(),
+              sys.host().processedSyscalls());
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+    EXPECT_EQ(sys.host().daemonScansLive(), 0u);
+}
+
+TEST(RingE2E, WorkItemLanesShareOneBatch)
+{
+    System sys(ringConfig());
+    sys.gsan().setEnabled(true);
+    sys.kernel().vfs().createFile("/ringwi");
+    gpu::KernelLaunch k;
+    k.workItems = 64;
+    k.wgSize = 64;
+    k.program = [&sys](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        Invocation inv;
+        inv.granularity = Granularity::WorkGroup;
+        inv.ordering = Ordering::Strong;
+        const auto fd =
+            co_await sys.gpuSys().open(ctx, inv, "/ringwi", 1);
+        Invocation wi;
+        wi.granularity = Granularity::WorkItem;
+        wi.ordering = Ordering::Strong;
+        static const char payload[] = "x";
+        co_await sys.gpuSys().invokeWorkItems(
+            ctx, wi, osk::sysno::pwrite64,
+            [fd](std::uint32_t lane) {
+                return std::optional<osk::SyscallArgs>(osk::makeArgs(
+                    fd, &payload[0], 1,
+                    static_cast<std::int64_t>(lane)));
+            },
+            [](std::uint32_t, std::int64_t) {});
+    };
+    sys.launchGpuAndDrain(std::move(k));
+    sys.run();
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    // A full wavefront's lanes are published as batches, so mean batch
+    // occupancy beats one-entry-per-doorbell submission.
+    EXPECT_GT(sys.syscallArea().ringBatchOccupancy(), 1.0);
+    EXPECT_LT(sys.syscallArea().ringBatchesTotal(),
+              sys.syscallArea().ringEntriesTotal());
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, ConcurrentGroupsSuppressDoorbells)
+{
+    // Many groups on one shard overlap their batches: while the
+    // consume task drains, later doorbells are elided.
+    System sys(ringConfig());
+    sys.gsan().setEnabled(true);
+    runRingKernel(sys, 16);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_GT(sys.host().ringDoorbellsSuppressed(), 0u);
+    // Suppressed doorbells never strand a batch.
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, TinyRingForcesChunkedSubmission)
+{
+    // A 2-entry SQ cannot hold a whole wavefront of lane requests; the
+    // submitter chunks the batch and spins on claim-full.
+    System sys(ringConfig(1, 2));
+    sys.gsan().setEnabled(true);
+    runRingKernel(sys, 8);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_TRUE(sys.syscallArea().ringsIdle());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    EXPECT_EQ(sys.gsan().reportCount(), 0u);
+}
+
+TEST(RingE2E, MultiShardRingStatsSumAcrossShards)
+{
+    SystemConfig cfg = ringConfig(2);
+    cfg.gpu.numCus = 4;
+    System sys(cfg);
+    runRingKernel(sys, 16);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    std::uint64_t batches = 0;
+    std::uint64_t entries = 0;
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        EXPECT_GT(sys.syscallArea().ringEntriesOnShard(s), 0u)
+            << "shard " << s;
+        batches += sys.syscallArea().ringBatchesOnShard(s);
+        entries += sys.syscallArea().ringEntriesOnShard(s);
+        EXPECT_EQ(sys.syscallArea().sq(s).publishedTotal(),
+                  sys.syscallArea().sq(s).consumedTotal())
+            << "shard " << s;
+    }
+    EXPECT_EQ(batches, sys.syscallArea().ringBatchesTotal());
+    EXPECT_EQ(entries, sys.syscallArea().ringEntriesTotal());
+    EXPECT_GE(sys.syscallArea().ringBatchOccupancy(), 1.0);
+}
+
+TEST(RingE2E, RingOffLeavesRingsUntouched)
+{
+    SystemConfig cfg = ringConfig();
+    cfg.genesys.useRings = false;
+    System sys(cfg);
+    runRingKernel(sys, 8);
+    EXPECT_TRUE(sys.syscallArea().quiescent());
+    EXPECT_GT(sys.host().processedSyscalls(), 0u);
+    EXPECT_FALSE(sys.syscallArea().ringsEnabled());
+    EXPECT_EQ(sys.syscallArea().ringBatchesTotal(), 0u);
+    EXPECT_EQ(sys.host().ringCqPosted(), 0u);
+    EXPECT_EQ(sys.host().ringDoorbellsSuppressed(), 0u);
+}
+
+TEST(RingE2E, StatsReportCarriesRingCounters)
+{
+    System sys(ringConfig());
+    runRingKernel(sys, 8);
+    const std::string report = sys.statsReport();
+    EXPECT_NE(report.find("genesys.rings_enabled"), std::string::npos);
+    EXPECT_NE(report.find("genesys.ring_batches"), std::string::npos);
+    EXPECT_NE(report.find("genesys.ring_batch_occupancy"),
+              std::string::npos);
+}
+
+// -------------------------------------------------- sysfs knob surface
+
+class RingSysfsTest : public ::testing::Test
+{
+  protected:
+    RingSysfsTest() : sys_(ringConfig(2, 16)) {}
+
+    std::int64_t
+    sys(int num, const osk::SyscallArgs &args)
+    {
+        std::int64_t ret = -1;
+        sys_.sim().spawn([](System &s, int n, osk::SyscallArgs a,
+                            std::int64_t &out) -> sim::Task<> {
+            out = co_await s.kernel().doSyscall(s.process(), n, a);
+        }(sys_, num, args, ret));
+        sys_.run();
+        return ret;
+    }
+
+    std::string
+    readFile(const std::string &path)
+    {
+        const auto fd = sys(osk::sysno::open,
+                            osk::makeArgs(path.c_str(), osk::O_RDONLY));
+        if (fd < 0)
+            return "<open failed>";
+        char buf[64] = {};
+        sys(osk::sysno::read, osk::makeArgs(fd, buf, 63));
+        sys(osk::sysno::close, osk::makeArgs(fd));
+        return buf;
+    }
+
+    System sys_;
+};
+
+TEST_F(RingSysfsTest, GlobalKnobsReadable)
+{
+    EXPECT_EQ(readFile("/sys/genesys/rings/enabled"), "1\n");
+    EXPECT_EQ(readFile("/sys/genesys/rings/entries"), "16\n");
+    runRingKernel(sys_, 8);
+    EXPECT_EQ(readFile("/sys/genesys/rings/batches"),
+              logging::format("%llu\n",
+                              static_cast<unsigned long long>(
+                                  sys_.syscallArea().ringBatchesTotal())));
+    EXPECT_EQ(
+        readFile("/sys/genesys/rings/cq_posted"),
+        logging::format("%llu\n", static_cast<unsigned long long>(
+                                      sys_.host().ringCqPosted())));
+}
+
+TEST_F(RingSysfsTest, PerShardCursorsReadable)
+{
+    runRingKernel(sys_, 8);
+    std::uint64_t cq_tail_sum = 0;
+    for (std::uint32_t s = 0; s < 2; ++s) {
+        const auto dir = logging::format("/sys/genesys/rings/%u/", s);
+        // Drained: the SQ head caught up with its tail. The CQ head
+        // deliberately does not — waiters never pop CQEs, they watch
+        // the monotone tail counter (DESIGN.md §13).
+        EXPECT_EQ(readFile(dir + "sq_head"),
+                  readFile(dir + "sq_tail"));
+        EXPECT_EQ(readFile(dir + "entries"),
+                  logging::format(
+                      "%llu\n",
+                      static_cast<unsigned long long>(
+                          sys_.syscallArea().ringEntriesOnShard(s))));
+        cq_tail_sum += sys_.syscallArea().cq(s).publishedTotal();
+    }
+    EXPECT_EQ(cq_tail_sum, sys_.host().ringCqPosted());
+}
+
+TEST_F(RingSysfsTest, KnobsAreReadOnly)
+{
+    const auto fd =
+        sys(osk::sysno::open,
+            osk::makeArgs("/sys/genesys/rings/enabled", osk::O_RDWR));
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(sys(osk::sysno::write, osk::makeArgs(fd, "0\n", 2)), 0);
+    EXPECT_TRUE(sys_.syscallArea().ringsEnabled());
+}
+
+} // namespace
+} // namespace genesys::core
