@@ -28,7 +28,7 @@ fi
 
 runner="$(command -v run-clang-tidy || true)"
 mapfile -t sources < <(git -C "$repo" ls-files \
-    'src/*.cc' 'tests/*.cc' 'bench/*.cc')
+    'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'tools/*.cc')
 if [ -n "$filter" ]; then
     mapfile -t sources < <(printf '%s\n' "${sources[@]}" \
         | grep -F -- "$filter")

@@ -25,11 +25,15 @@ Rules
                         slots (observed shared_ptr refcount underflow,
                         found by gmc's divergence oracle). Hoist the
                         lambda into a named local and std::move it.
-  sysno-classified      every syscall number declared in the sysno
-                        namespace (src/osk/syscalls.hh) must have a
-                        Table II classification row: its name must
-                        appear as a string literal in
-                        src/osk/classification.cc
+  sysno-classified      bidirectional consistency between the sysno
+                        namespace (src/osk/syscalls.hh) and the
+                        Table II census (src/osk/classification.cc):
+                        every declared syscall number must have a
+                        classification row, and every single-word row
+                        literal must either name a declared sysno or
+                        belong to the frozen census baseline below
+                        (catches typo'd rows that would silently fail
+                        to classify a new syscall)
   ring-raw-counter      SQ/CQ ring head/tail/claimed counters are
                         touched only through the acquire/release
                         accessor helpers in src/core/ring.hh
@@ -81,10 +85,86 @@ SYSNO_DECL_RE = re.compile(
     r"\binline\s+constexpr\s+int\s+(\w+)\s*=\s*\d+\s*;")
 STRING_LITERAL_RE = re.compile(r'"(\w+)"')
 
+# Frozen baseline for the reverse direction of sysno-classified: the
+# single-word literals in classification.cc at the time the rule was
+# made bidirectional that do NOT correspond to a sysno declaration —
+# the Table II census of unimplemented Linux syscalls plus the census
+# type tags ("filesystem", "network", ...). Any single-word row
+# literal added later must name a declared sysno; growing this set by
+# hand is the escape hatch for genuinely new census-only rows.
+KNOWN_CENSUS_ROWS = frozenset("""
+    IPC _sysctl accept4 access acct add_key adjtimex alarm arch_prctl
+    bpf brk capabilities capget capset chdir chmod chown clock_adjtime
+    clock_getres clock_gettime clock_nanosleep clock_settime clone
+    copy_file_range creat delete_module dup3 epoll_create1 epoll_pwait
+    eventfd eventfd2 execve execveat exit exit_group faccessat
+    fadvise64 fallocate fanotify_init fanotify_mark fchdir fchmod
+    fchmodat fchown fchownat fcntl fdatasync fgetxattr filesystem
+    finit_module flistxattr flock fork fremovexattr fsetxattr fstatfs
+    fsync futex futimesat get_mempolicy get_robust_list getcpu getcwd
+    getdents getdents64 getegid geteuid getgid getgroups getitimer
+    getpeername getpgid getpgrp getppid getpriority getrandom
+    getresgid getresuid getrlimit getsid getsockname getsockopt gettid
+    gettimeofday getuid getxattr identity init_module
+    inotify_add_watch inotify_init inotify_init1 inotify_rm_watch
+    io_cancel io_destroy io_getevents io_setup io_submit ioperm iopl
+    ioprio_get ioprio_set kcmp kexec_file_load kexec_load keyctl kill
+    lchown lgetxattr link linkat listxattr llistxattr lookup_dcookie
+    lremovexattr lsetxattr lstat mbind membarrier memfd_create
+    migrate_pages mincore mkdir mkdirat mknod mknodat mlock mlock2
+    mlockall modify_ldt mount move_pages mprotect mq_getsetattr
+    mq_notify mq_open mq_timedreceive mq_timedsend mq_unlink mremap
+    msgctl msgget msgrcv msgsnd msync munlock munlockall
+    name_to_handle_at namespace network newfstatat nfsservctl
+    open_by_handle_at openat pause perf_event_open personality pipe2
+    pivot_root pkey_alloc pkey_free pkey_mprotect policies poll ppoll
+    prctl preadv preadv2 prlimit64 process_vm_readv process_vm_writev
+    pselect6 ptrace pwritev pwritev2 quotactl readahead readlink
+    readlinkat readv reboot recvmmsg recvmsg remap_file_pages
+    removexattr rename renameat renameat2 request_key restart_syscall
+    rmdir rt_sigaction rt_sigpending rt_sigprocmask rt_sigreturn
+    rt_sigsuspend rt_sigtimedwait rt_tgsigqueueinfo
+    sched_get_priority_max sched_get_priority_min sched_getaffinity
+    sched_getattr sched_getparam sched_getscheduler
+    sched_rr_get_interval sched_setaffinity sched_setattr
+    sched_setparam sched_setscheduler sched_yield seccomp select
+    semctl semget semop semtimedop sendfile sendmmsg sendmsg
+    set_mempolicy set_robust_list set_tid_address setdomainname
+    setfsgid setfsuid setgid setgroups sethostname setitimer setns
+    setpgid setpriority setregid setresgid setresuid setreuid
+    setrlimit setsid setsockopt settimeofday setuid setxattr shmat
+    shmctl shmdt shmget sigaltstack signalfd signalfd4 signals
+    socketpair splice stat statfs statx swapoff swapon symlink
+    symlinkat sync sync_file_range syncfs sysfs sysinfo syslog tee
+    tgkill time timer_create timer_delete timer_getoverrun
+    timer_gettime timer_settime timerfd_create timerfd_gettime
+    timerfd_settime times tkill truncate umask umount2 uname unlinkat
+    unshare userfaultfd ustat utime utimensat utimes vfork vhangup
+    vmsplice wait4 waitid writev
+""".split())
+
+
+def raw_string_prefix(text, quote_at):
+    """True when the '"' at `quote_at` opens a raw string literal: it
+    is directly preceded by R with an optional encoding prefix (u8R,
+    uR, UR, LR) that is not part of a longer identifier."""
+    k = quote_at - 1
+    if k < 0 or text[k] != "R":
+        return False
+    k -= 1
+    if k >= 1 and text[k - 1] == "u" and text[k] == "8":
+        k -= 2
+    elif k >= 0 and text[k] in "uUL":
+        k -= 1
+    return k < 0 or not (text[k].isalnum() or text[k] == "_")
+
 
 def scrub(text):
     """Blank comments and string/char literals, preserving newlines and
-    column positions so line/offset arithmetic stays valid."""
+    column positions so line/offset arithmetic stays valid. Raw string
+    literals R"delim(...)delim" terminate only at their matching
+    )delim" — an unescaped '"' in the body must not end the scrub, or
+    everything after it desynchronizes."""
     out = list(text)
     i, n = 0, len(text)
     while i < n:
@@ -106,6 +186,17 @@ def scrub(text):
                 out[j] = out[j + 1] = " "
                 j += 2
             i = j
+        elif c == '"' and raw_string_prefix(text, i):
+            j = i + 1
+            while j < n and text[j] != "(":
+                j += 1
+            close = ")" + text[i + 1:j] + '"'
+            end = text.find(close, j + 1)
+            end = n if end == -1 else end + len(close)
+            for k in range(i, end):
+                if text[k] != "\n":
+                    out[k] = " "
+            i = end
         elif c in "\"'":
             quote = c
             out[i] = " "
@@ -286,19 +377,24 @@ def check_file(relpath, scrubbed, unordered_names):
     return findings
 
 
-def check_sysno_classified(raw_by_path, scrubbed_by_path):
-    """Cross-file rule: every syscall number in the sysno namespace
-    needs a classification row. Declarations are matched against the
-    scrubbed header (so commented-out numbers don't count); the rows
-    live in string literals, so classification.cc is searched raw."""
+def check_sysno_classified(raw_by_path, scrubbed_by_path,
+                           baseline=KNOWN_CENSUS_ROWS):
+    """Cross-file rule, both directions: every syscall number in the
+    sysno namespace needs a classification row, and every single-word
+    row literal must name a declared sysno or sit in the frozen census
+    baseline. Declarations are matched against the scrubbed header (so
+    commented-out numbers don't count); the rows live in string
+    literals, so classification.cc is searched raw."""
     findings = []
     syscalls = scrubbed_by_path.get(SYSNO_FILE)
     classification = raw_by_path.get(CLASSIFICATION_FILE)
     if syscalls is None or classification is None:
         return findings
     classified = set(STRING_LITERAL_RE.findall(classification))
+    declared = set()
     for m in SYSNO_DECL_RE.finditer(syscalls):
         name = m.group(1)
+        declared.add(name)
         if name not in classified:
             findings.append(Finding(
                 SYSNO_FILE, line_of(syscalls, m.start()),
@@ -306,6 +402,17 @@ def check_sysno_classified(raw_by_path, scrubbed_by_path):
                 "syscall 'sysno::%s' has no classification row; add "
                 'its "%s" entry to %s'
                 % (name, name, CLASSIFICATION_FILE)))
+    for m in STRING_LITERAL_RE.finditer(classification):
+        name = m.group(1)
+        if name not in declared and name not in baseline:
+            findings.append(Finding(
+                CLASSIFICATION_FILE,
+                line_of(classification, m.start()),
+                "sysno-classified",
+                "classification row '%s' names no declared sysno and "
+                "is not in the frozen census baseline; typo, or a "
+                "missing sysno:: declaration in %s?"
+                % (name, SYSNO_FILE)))
     return findings
 
 
@@ -418,31 +525,61 @@ SELF_TEST_CASES = [
      "// reads headRaw_ via loadHeadAcquire()\nvoid f();", None),
     ("ring counter allow escape", "src/core/x.cc",
      "auto h = r.headRaw_; // glint: allow(ring-raw-counter)", None),
+    ("banned name in raw string ok", "src/core/x.cc",
+     'const char *s = R"(calls rand() at time(nullptr))";\n'
+     "void f();", None),
+    ("raw string with inner quote stays synced", "src/core/x.cc",
+     'const char *s = R"(a "quoted" word)"; int r = rand();',
+     "raw-rand"),
+    ("raw string custom delimiter", "src/core/x.cc",
+     'const char *s = R"x(ends with )" but not here)x";\n'
+     "int r = rand();", "raw-rand"),
+    ("prefixed raw string", "src/core/x.cc",
+     'auto s = u8R"(state_ = "fake")"; auto t = LR"(srand(7))";\n'
+     "void f();", None),
+    ("identifier ending in R is not a raw prefix", "src/core/x.cc",
+     'void f() { LOG_ERROR"tag"; int r = rand(); }', "raw-rand"),
 ]
 
 
-# (name, syscalls.hh text, classification.cc text, expected finding
-# count for the sysno-classified cross-file rule)
+# (name, syscalls.hh text, classification.cc text, census baseline for
+# the reverse direction, expected finding count for the
+# sysno-classified cross-file rule)
 SYSNO_SELF_TEST_CASES = [
     ("all classified",
      "inline constexpr int read = 0;\n"
      "inline constexpr int socket = 41;",
-     'Row rows[] = {{"read"}, {"socket"}};', 0),
+     'Row rows[] = {{"read"}, {"socket"}};', frozenset(), 0),
     ("missing row",
      "inline constexpr int read = 0;\n"
      "inline constexpr int frobnicate = 99;",
-     'Row rows[] = {{"read"}};', 1),
+     'Row rows[] = {{"read"}};', frozenset(), 1),
     ("commented-out number ignored",
      "// inline constexpr int ghost = 7;\n"
      "inline constexpr int read = 0;",
-     'Row rows[] = {{"read"}};', 0),
+     'Row rows[] = {{"read"}};', frozenset(), 0),
     ("row anywhere in the table counts",
      "inline constexpr int epoll_wait = 232;",
-     'groups[] = {{"epoll_create", "epoll_ctl", "epoll_wait"}};', 0),
+     'groups[] = {{"epoll_create", "epoll_ctl", "epoll_wait"}};',
+     frozenset({"epoll_create", "epoll_ctl"}), 0),
     ("two missing rows flagged individually",
      "inline constexpr int a_call = 1;\n"
      "inline constexpr int b_call = 2;",
-     'Row rows[] = {{"read"}};', 2),
+     'Row rows[] = {{"read"}};', frozenset({"read"}), 2),
+    ("typo'd row flagged (reverse direction)",
+     "inline constexpr int read = 0;",
+     'Row rows[] = {{"read"}, {"raed"}};', frozenset(), 1),
+    ("census baseline row ok",
+     "inline constexpr int read = 0;",
+     'Row rows[] = {{"read"}, {"fork"}};', frozenset({"fork"}), 0),
+    ("both directions at once",
+     "inline constexpr int read = 0;\n"
+     "inline constexpr int new_call = 5;",
+     'Row rows[] = {{"read"}, {"stale_row"}};', frozenset(), 2),
+    ("real baseline covers the current census",
+     "inline constexpr int read = 0;",
+     'Row rows[] = {{"read"}, {"fork"}, {"execve"}, {"filesystem"}};',
+     KNOWN_CENSUS_ROWS, 0),
 ]
 
 
@@ -464,10 +601,11 @@ def run_self_test():
             print("self-test FAIL: %s: want %s, got %s"
                   % (name, want, rules or "clean"))
             failures += 1
-    for name, sys_text, cls_text, expected in SYSNO_SELF_TEST_CASES:
+    for name, sys_text, cls_text, baseline, expected in \
+            SYSNO_SELF_TEST_CASES:
         raw = {SYSNO_FILE: sys_text, CLASSIFICATION_FILE: cls_text}
         scrubbed = {k: scrub(v) for k, v in raw.items()}
-        findings = check_sysno_classified(raw, scrubbed)
+        findings = check_sysno_classified(raw, scrubbed, baseline)
         findings = apply_allows(findings, raw)
         if len(findings) != expected:
             print("self-test FAIL: %s: want %d finding(s), got %s"

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gstat's function/method/lambda extractor (DESIGN.md §14).
+ *
+ * Walks each lexed file with a scope stack (namespace / class / other
+ * braces), recognizes function definitions by their `name(args)
+ * [qualifiers] {` shape (including out-of-class `Class::name` and
+ * constructor-initializer lists), and scans every body for:
+ *
+ *  - call sites (`ident(`), with the set of locks held at the call and
+ *    a `deferred` bit when the call is an argument to a deferral sink
+ *    (WorkQueue::enqueue/enqueueOn, EventQueue::scheduleIn, spawn, …);
+ *  - lambda bodies, extracted as child functions of their enclosing
+ *    function; a lambda handed to a deferral sink is marked deferred —
+ *    its calls run later on another logical thread, so the may-park
+ *    and lock passes must not charge them to the parent;
+ *  - lock events: `std::lock_guard/unique_lock/scoped_lock` guards
+ *    (block-scoped) and manual `x.lock()/x.unlock()` (function-scoped),
+ *    with member locks qualified by the enclosing class;
+ *  - `sysno::name` references, raw ring-counter tokens, and
+ *    `entries_[...]` accesses (read vs write) for the classification
+ *    and ordering passes.
+ *
+ * Known soundness limits (documented in DESIGN.md §14): resolution is
+ * name-based, operator overloads and function pointers are not modeled,
+ * and a lock's identity is its spelled expression (qualified by class
+ * for simple member names).
+ */
+
+#ifndef GENESYS_ANALYSIS_EXTRACT_HH
+#define GENESYS_ANALYSIS_EXTRACT_HH
+
+#include "analysis/model.hh"
+
+namespace genesys::analysis
+{
+
+/** Extract all functions of files[fileIndex] into prog.functions. */
+void extractFile(Program &prog, int fileIndex);
+
+/** Rebuild byShortName / byQualName after extraction. */
+void indexFunctions(Program &prog);
+
+} // namespace genesys::analysis
+
+#endif // GENESYS_ANALYSIS_EXTRACT_HH

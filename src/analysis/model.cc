@@ -1,0 +1,34 @@
+#include "analysis/model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace genesys::analysis
+{
+
+std::string
+Finding::render() const
+{
+    std::ostringstream os;
+    os << path << ":" << line << ": [" << rule << "] " << message;
+    for (const auto &step : witness)
+        os << "\n    " << step;
+    return os.str();
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+} // namespace genesys::analysis

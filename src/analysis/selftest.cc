@@ -1,0 +1,439 @@
+/**
+ * @file
+ * gstat's seeded-defect corpus (`gstat --self-test`).
+ *
+ * Every analysis rule is exercised twice: a seeded defect the analyzer
+ * must catch (with a witness path for the interprocedural rules) and a
+ * nearby negative the analyzer must stay silent on. The corpus is the
+ * regression net for the extractor and passes: a lexer desync, a
+ * broken deferral edge, or a lost lock snapshot all surface here as a
+ * missing or spurious finding.
+ */
+
+#include "analysis/analyzer.hh"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace genesys::analysis
+{
+
+namespace
+{
+
+struct Expect
+{
+    const char *rule;
+    int count;
+};
+
+struct CorpusCase
+{
+    const char *name;
+    std::vector<SourceFile> files;
+    std::vector<Expect> expects;
+    int suppressed = 0;
+};
+
+// Rules whose findings must carry an interprocedural witness chain.
+const std::set<std::string> &
+witnessRules()
+{
+    static const std::set<std::string> rules = {
+        "nonblocking-handler-parks", "drain-loop-park",
+        "park-under-lock", "lock-order-cycle"};
+    return rules;
+}
+
+std::vector<CorpusCase>
+buildCorpus()
+{
+    std::vector<CorpusCase> cases;
+
+    // ---- may-park: handler classification ---------------------------
+    cases.push_back(
+        {"handler-classification",
+         {{"corpus/handlers.cc", R"src(
+namespace osk
+{
+namespace sysno
+{
+inline constexpr int read = 0;
+inline constexpr int ioctl = 16;
+inline constexpr int getpid = 39;
+inline constexpr int futex = 98;
+inline constexpr int dup = 32;
+} // namespace sysno
+} // namespace osk
+
+bool
+mayBlockIndefinitely(int n)
+{
+    return n == osk::sysno::read;
+}
+
+long
+sysRead(WaitQueue &wq)
+{
+    return wq.wait(); // classified blocking: the park is expected
+}
+
+long
+sysIoctl(WaitQueue &wq)
+{
+    return wq.wait(); // seeded defect: direct indefinite park
+}
+
+long
+parkHelper(WaitQueue &wq)
+{
+    return wq.wait();
+}
+
+long
+sysGetpid(WaitQueue &wq)
+{
+    return parkHelper(wq); // seeded defect: transitive indefinite park
+}
+
+long
+sysFutex(Semaphore &sem)
+{
+    sem.acquire(); // bounded park: fine for a non-blocking handler
+    return 0;
+}
+
+long
+sysDup(WorkQueue &q, WaitQueue &wq)
+{
+    q.enqueue([&wq] { wq.wait(); }); // deferred: runs on a worker
+    return 0;
+}
+
+void
+buildTable()
+{
+    install(sysno::read, "read", sysRead);
+    install(sysno::ioctl, "ioctl", sysIoctl);
+    install(sysno::getpid, "getpid", sysGetpid);
+    install(sysno::futex, "futex", sysFutex);
+    install(sysno::dup, "dup", sysDup);
+}
+)src"}},
+         {{"nonblocking-handler-parks", 2}}});
+
+    // ---- may-park: ring consumer drain loop -------------------------
+    cases.push_back(
+        {"drain-loop-parks",
+         {{"corpus/drain.cc", R"src(
+sim::Task<>
+InterruptBackend::ringConsumeTask(unsigned shard)
+{
+    for (;;) {
+        cpus.acquireCore(); // bounded: a core always frees
+        auto inlinePark = [&] { wq.wait(); };
+        inlinePark(); // seeded defect: inline park wedges the shard
+    }
+}
+)src"}},
+         {{"drain-loop-park", 1}}});
+
+    cases.push_back(
+        {"drain-loop-clean",
+         {{"corpus/drain_ok.cc", R"src(
+sim::Task<>
+InterruptBackend::ringConsumeTask(unsigned shard)
+{
+    cpus.acquireCore();
+    queue.enqueueOn(shard, [&] { wq.wait(); }); // punted, not inline
+}
+)src"}},
+         {}});
+
+    // ---- may-park: park while holding a lock ------------------------
+    cases.push_back(
+        {"park-under-lock",
+         {{"corpus/park_lock.cc", R"src(
+struct Shard
+{
+    std::mutex mu_;
+    WaitQueue wq_;
+
+    void direct()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        wq_.wait(); // seeded defect: indefinite park under mu_
+    }
+
+    void parkHelper() { wq_.wait(); }
+
+    void transitive()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        parkHelper(); // seeded defect: callee parks under mu_
+    }
+
+    void released()
+    {
+        {
+            std::lock_guard<std::mutex> g(mu_);
+        }
+        wq_.wait(); // negative: the guard died with its block
+    }
+};
+)src"}},
+         {{"park-under-lock", 2}}});
+
+    // ---- lock order -------------------------------------------------
+    cases.push_back(
+        {"lock-order",
+         {{"corpus/locks.cc", R"src(
+struct Inverted
+{
+    std::mutex a_;
+    std::mutex b_;
+    void ab()
+    {
+        std::lock_guard<std::mutex> g1(a_);
+        std::lock_guard<std::mutex> g2(b_);
+    }
+    void ba()
+    {
+        std::lock_guard<std::mutex> g1(b_);
+        std::lock_guard<std::mutex> g2(a_); // seeded defect: AB/BA
+    }
+};
+
+struct Triangle
+{
+    std::mutex a_;
+    std::mutex b_;
+    std::mutex c_;
+    void ab()
+    {
+        std::lock_guard<std::mutex> g1(a_);
+        std::lock_guard<std::mutex> g2(b_);
+    }
+    void bc()
+    {
+        std::lock_guard<std::mutex> g1(b_);
+        std::lock_guard<std::mutex> g2(c_);
+    }
+    void ca()
+    {
+        std::lock_guard<std::mutex> g1(c_);
+        std::lock_guard<std::mutex> g2(a_); // seeded defect: 3-cycle
+    }
+};
+
+struct Recursive
+{
+    std::mutex m_;
+    void again()
+    {
+        std::lock_guard<std::mutex> g(m_);
+        std::lock_guard<std::mutex> h(m_); // seeded defect: self-lock
+    }
+};
+
+struct ThroughCalls
+{
+    std::mutex x_;
+    std::mutex y_;
+    void takeY() { std::lock_guard<std::mutex> g(y_); }
+    void lockX() { std::lock_guard<std::mutex> g(x_); }
+    void first()
+    {
+        std::lock_guard<std::mutex> g(x_);
+        takeY();
+    }
+    void second()
+    {
+        std::lock_guard<std::mutex> g(y_);
+        lockX(); // seeded defect: inversion through the call graph
+    }
+};
+
+struct Consistent
+{
+    std::mutex a_;
+    std::mutex b_;
+    void one()
+    {
+        std::lock_guard<std::mutex> g1(a_);
+        std::lock_guard<std::mutex> g2(b_);
+    }
+    void two()
+    {
+        std::lock_guard<std::mutex> g1(a_);
+        std::lock_guard<std::mutex> g2(b_); // negative: same order
+    }
+    void atomicPair(std::mutex &m, std::mutex &n)
+    {
+        std::scoped_lock<std::mutex, std::mutex> g(m, n); // negative
+    }
+};
+)src"}},
+         {{"lock-order-cycle", 4}}});
+
+    // ---- ordering discipline ----------------------------------------
+    cases.push_back(
+        {"ordering-discipline",
+         {{"corpus/ordering.cc", R"src(
+struct Ring
+{
+    int entries_[16];
+    unsigned long loadHeadAcquire() const;
+    unsigned long loadTailAcquire() const;
+    void storeHeadRelease(unsigned long v);
+    void storeTailRelease(unsigned long v);
+
+    void goodPublish(Gsan *g)
+    {
+        unsigned long t = loadTailAcquire();
+        storeTailRelease(t + 1);
+        g->ringPublish(1, 1); // negative: store + annotation paired
+    }
+
+    void badPublish()
+    {
+        storeTailRelease(7); // seeded defect: no acquire load first
+    }
+
+    void badAnnotation(Gsan *g)
+    {
+        g->ringPublish(1, 1); // seeded defect: annotation, no store
+    }
+
+    int badPeek()
+    {
+        return entries_[0]; // seeded defect: unannotated read
+    }
+
+    int goodPop(Gsan *g)
+    {
+        g->ringConsume(1);
+        int v = entries_[indexOf(loadHeadAcquire())];
+        storeHeadRelease(loadHeadAcquire() + 1); // load inside args
+        return v;
+    }
+};
+
+void
+touchRaw(Ring &r)
+{
+    r.headRaw_ = 1; // seeded defect: raw counter outside core/ring.hh
+}
+)src"}},
+         {{"unannotated-consume", 1},
+          {"unpaired-hb-annotation", 1},
+          {"unpaired-release", 1},
+          {"raw-counter-access", 1}}});
+
+    // ---- suppressions -----------------------------------------------
+    cases.push_back(
+        {"suppressions",
+         {{"corpus/suppress.cc", R"src(
+struct Near
+{
+    void storeTailRelease(unsigned long v);
+    // Intentional: exercises the allow() window.
+    // gstat: allow(unpaired-release)
+    void resetTail() { storeTailRelease(0); }
+};
+
+struct Far
+{
+    void storeTailRelease(unsigned long v);
+    // gstat: allow(unpaired-release)
+    //
+    //
+    //
+    void resetTail() { storeTailRelease(0); } // allow is out of range
+};
+)src"}},
+         {{"unpaired-release", 1}},
+         1});
+
+    // ---- raw string literals must not desync the lexer --------------
+    cases.push_back(
+        {"raw-string-literals",
+         {{"corpus/rawstring.cc", R"src(
+const char *kScript = R"(storeTailRelease(99); " stray quote ' )";
+
+struct Q
+{
+    void storeTailRelease(unsigned long v);
+    void bad()
+    {
+        storeTailRelease(1); // seeded defect: proves lexing stayed
+                             // in sync past the raw string
+    }
+};
+)src"}},
+         {{"unpaired-release", 1}}});
+
+    return cases;
+}
+
+bool
+runCase(const CorpusCase &c)
+{
+    const AnalysisResult result = analyzeSources(c.files);
+    std::map<std::string, int> got;
+    bool ok = true;
+    for (const Finding &f : result.findings) {
+        ++got[f.rule];
+        if (witnessRules().count(f.rule) != 0 && f.witness.empty()) {
+            std::printf("FAIL %s: finding without witness: %s\n",
+                        c.name, f.render().c_str());
+            ok = false;
+        }
+    }
+    std::map<std::string, int> want;
+    for (const Expect &e : c.expects)
+        want[e.rule] = e.count;
+    if (got != want) {
+        std::printf("FAIL %s: expected vs got findings differ\n",
+                    c.name);
+        for (const auto &w : want)
+            std::printf("  want %-28s x%d\n", w.first.c_str(),
+                        w.second);
+        for (const Finding &f : result.findings)
+            std::printf("  got  %s\n", f.render().c_str());
+        ok = false;
+    }
+    if (result.suppressed != c.suppressed) {
+        std::printf("FAIL %s: expected %d suppressed, got %d\n",
+                    c.name, c.suppressed, result.suppressed);
+        ok = false;
+    }
+    if (ok)
+        std::printf("PASS %s\n", c.name);
+    return ok;
+}
+
+} // namespace
+
+int
+runSelfTest()
+{
+    int failures = 0;
+    int defects = 0;
+    const std::vector<CorpusCase> corpus = buildCorpus();
+    for (const CorpusCase &c : corpus) {
+        if (!runCase(c))
+            ++failures;
+        for (const Expect &e : c.expects)
+            defects += e.count;
+    }
+    std::printf("gstat self-test: %zu cases, %d seeded defects, "
+                "%d failure(s)\n",
+                corpus.size(), defects, failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace genesys::analysis

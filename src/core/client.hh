@@ -82,6 +82,9 @@ const char *orderingName(Ordering o);
 const char *blockingName(Blocking b);
 const char *waitModeName(WaitMode w);
 
+// gstat: opaque(GpuSyscalls) — device-side wrapper API whose method
+// names deliberately mirror POSIX (read/write/close/...); unqualified
+// calls in the host OS tree must never resolve into it.
 class GpuSyscalls
 {
   public:

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the gstat static analyzer (src/analysis/).
+ *
+ * The seeded-defect corpus (`gstat --self-test`, also run here) is the
+ * broad regression net; these tests pin the analyzer's contract at the
+ * API level: witness chains, the suppression window, and the three
+ * resolution-hygiene mechanisms (noreturn terminators, explicit
+ * qualifiers, opaque API-boundary classes) that keep the real tree
+ * free of false park chains.
+ */
+
+#include "analysis/analyzer.hh"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using genesys::analysis::AnalysisResult;
+using genesys::analysis::Finding;
+using genesys::analysis::SourceFile;
+using genesys::analysis::analyzeSources;
+using genesys::analysis::loadTree;
+using genesys::analysis::runSelfTest;
+
+AnalysisResult
+analyze(const std::string &text)
+{
+    return analyzeSources({{"t/x.cc", text}});
+}
+
+std::vector<std::string>
+rulesOf(const AnalysisResult &r)
+{
+    std::vector<std::string> rules;
+    for (const Finding &f : r.findings)
+        rules.push_back(f.rule);
+    return rules;
+}
+
+// A handler table where `ioctl` is classified non-blocking.
+const char *kTablePrologue = R"src(
+namespace osk { namespace sysno {
+inline constexpr int ioctl = 16;
+} }
+bool mayBlockIndefinitely(int n) { return false; }
+void buildTable() { install(sysno::ioctl, "ioctl", sysIoctl); }
+)src";
+
+TEST(Gstat, CleanSnippetHasNoFindings)
+{
+    const AnalysisResult r = analyze(R"src(
+int add(int a, int b) { return a + b; }
+int twice(int a) { return add(a, a); }
+)src");
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_EQ(r.suppressed, 0);
+    EXPECT_EQ(r.functionCount, 2u);
+}
+
+TEST(Gstat, TransitiveParkCarriesWitnessChain)
+{
+    const AnalysisResult r = analyze(std::string(kTablePrologue) + R"src(
+long helper(WaitQueue &wq) { return wq.wait(); }
+long sysIoctl(WaitQueue &wq) { return helper(wq); }
+)src");
+    ASSERT_EQ(rulesOf(r),
+              std::vector<std::string>{"nonblocking-handler-parks"});
+    const Finding &f = r.findings[0];
+    // The witness walks handler -> helper -> the parking call site.
+    ASSERT_GE(f.witness.size(), 2u);
+    EXPECT_NE(f.witness[0].find("helper"), std::string::npos);
+    EXPECT_NE(f.witness.back().find("wait"), std::string::npos);
+    EXPECT_NE(f.witness.back().find("t/x.cc:"), std::string::npos);
+}
+
+TEST(Gstat, SuppressionWindowIsThreeLines)
+{
+    // allow() two lines above the finding line: suppressed.
+    const AnalysisResult near = analyze(std::string(kTablePrologue) +
+                                        R"src(
+// gstat: allow(nonblocking-handler-parks)
+long
+sysIoctl(WaitQueue &wq) { return wq.wait(); }
+)src");
+    EXPECT_TRUE(near.findings.empty());
+    EXPECT_EQ(near.suppressed, 1);
+
+    // allow() five lines above: out of the window, finding survives.
+    const AnalysisResult far = analyze(std::string(kTablePrologue) +
+                                       R"src(
+// gstat: allow(nonblocking-handler-parks)
+//
+//
+//
+long
+sysIoctl(WaitQueue &wq) { return wq.wait(); }
+)src");
+    ASSERT_EQ(rulesOf(far),
+              std::vector<std::string>{"nonblocking-handler-parks"});
+    EXPECT_EQ(far.suppressed, 0);
+}
+
+TEST(Gstat, OpaqueClassBlocksUnqualifiedResolution)
+{
+    const char *wrapper = R"src(
+class Wrapper
+{
+  public:
+    long request(WaitQueue &wq) { return wq.wait(); }
+};
+long sysIoctl(int fd) { return request(fd); }
+)src";
+    // Without the annotation, `request(fd)` resolves into the class
+    // and the handler appears to park.
+    const AnalysisResult plain =
+        analyze(std::string(kTablePrologue) + wrapper);
+    EXPECT_EQ(rulesOf(plain),
+              std::vector<std::string>{"nonblocking-handler-parks"});
+
+    const AnalysisResult opaque =
+        analyze(std::string(kTablePrologue) +
+                "// gstat: opaque(Wrapper)\n" + wrapper);
+    EXPECT_TRUE(opaque.findings.empty());
+}
+
+TEST(Gstat, QualifiedCallDoesNotResolveByShortName)
+{
+    // `ext::request` must not resolve to the in-tree parking
+    // `Wrapper::request` — the qualifier does not match.
+    const AnalysisResult r = analyze(std::string(kTablePrologue) + R"src(
+class Wrapper
+{
+  public:
+    long request(WaitQueue &wq) { return wq.wait(); }
+};
+long sysIoctl(int fd) { return ext::request(fd); }
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gstat, NoreturnTerminatorCutsParkPropagation)
+{
+    // panic() happens to reach a park (its I/O path), but a call TO
+    // panic never returns, so the handler cannot park through it.
+    const AnalysisResult r = analyze(std::string(kTablePrologue) + R"src(
+void panic(WaitQueue &wq) { wq.wait(); }
+long sysIoctl(WaitQueue &wq) { panic(wq); return 0; }
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gstat, LockOrderCycleReportedOnceWithEdgeWitness)
+{
+    const AnalysisResult r = analyze(R"src(
+struct S
+{
+    void ab()
+    {
+        std::lock_guard<std::mutex> g1(a_);
+        std::lock_guard<std::mutex> g2(b_);
+    }
+    void ba()
+    {
+        std::lock_guard<std::mutex> g1(b_);
+        std::lock_guard<std::mutex> g2(a_);
+    }
+    std::mutex a_;
+    std::mutex b_;
+};
+)src");
+    ASSERT_EQ(rulesOf(r), std::vector<std::string>{"lock-order-cycle"});
+    EXPECT_FALSE(r.findings[0].witness.empty());
+}
+
+TEST(Gstat, UnpairedReleaseStore)
+{
+    const AnalysisResult r = analyze(R"src(
+void badPublish(SyscallRing &r) { r.storeTailRelease(7); }
+)src");
+    EXPECT_EQ(rulesOf(r), std::vector<std::string>{"unpaired-release"});
+}
+
+TEST(Gstat, DeterministicAcrossRuns)
+{
+    const std::string text = std::string(kTablePrologue) +
+        "long sysIoctl(WaitQueue &wq) { return wq.wait(); }\n";
+    const AnalysisResult a = analyze(text);
+    const AnalysisResult b = analyze(text);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i)
+        EXPECT_EQ(a.findings[i].render(), b.findings[i].render());
+}
+
+TEST(Gstat, LoadTreeRejectsMissingRoot)
+{
+    std::vector<SourceFile> files;
+    std::string err;
+    EXPECT_FALSE(loadTree("definitely/not/a/dir", files, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Gstat, SeededDefectCorpusPasses)
+{
+    EXPECT_EQ(runSelfTest(), 0);
+}
+
+} // namespace
