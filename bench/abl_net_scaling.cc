@@ -1,30 +1,37 @@
 /**
  * @file
  * Ablation: gkv TCP/epoll server scaling — client connections x
- * syscall-area shards x workqueue workers (gnet, DESIGN.md §12).
+ * syscall-area shards x workqueue workers (gnet, DESIGN.md §12), on
+ * the pipelined, vectored, zero-copy serving path (DESIGN.md §15).
  *
- * Each GPU server work-group parks in epoll_wait through a GENESYS
- * slot; more connections mean more concurrent request streams fanned
- * across the groups, so throughput should rise with the connection
- * count until the server groups saturate. The shard x worker axis
- * rides along from the service-path ablation: it bounds how much of
- * the epoll wakeup and read/write traffic the host can service in
- * parallel.
+ * Each GPU server work-group multiplexes many edge-triggered
+ * connections through one epoll instance and drains every readiness
+ * edge to -EAGAIN with zero-copy recvmsg; the load generator keeps a
+ * pipelining window of requests in flight per connection and writes
+ * each refill as one batched train. Service work therefore queues up
+ * behind the host's shard x worker capacity instead of behind wire
+ * RTT, and the sweep rows diverge: throughput must scale from the
+ * 1x1 baseline to the 8x4 widest split (the flat-baseline table this
+ * replaces could not tell them apart).
  *
  * Every run executes with the gsan happens-before sanitizer enabled.
  * The binary exits nonzero if any run produces a report, if any run
- * returns incorrect replies, or if no sweep point shows throughput
- * increasing from the smallest to the largest connection count.
+ * returns incorrect replies, if no sweep point shows throughput
+ * rising with connections, if the 8x4 row fails to beat 1x1 at the
+ * largest connection count (2x full mode, 10% quick/CI mode), if p99
+ * blows up under the connection fan-in, or if any run copies rx
+ * bytes on the serving path (/sys/genesys/net/tcp/copied_bytes must
+ * stay 0 — the whole data path is loaned segments).
  *
- * A second section compares the two submission paths head to head at
- * the largest connection count: per-slot doorbells (one interrupt per
- * published slot) versus SQ/CQ ring batches (one doorbell per
- * published batch, DESIGN.md §13). The epoll-heavy server path is
- * exactly where batching pays — every readiness burst turns into one
- * consume sweep instead of a per-slot interrupt storm.
+ * A second section sweeps pipelining depth x connections per
+ * work-group at the widest split, reporting p50/p95/p99 and the
+ * copied-bytes vs zerocopy-bytes counters, and a third compares the
+ * two submission paths head to head at the largest connection count:
+ * per-slot doorbells versus SQ/CQ ring batches (DESIGN.md §13).
  *
  * Usage: abl_net_scaling [--quick] [--rings]
- *   --quick  two configs on small request counts (CI smoke).
+ *   --quick  1x1 vs 8x4 on small request counts (CI smoke) with the
+ *            10% divergence gate.
  *   --rings  run the scaling sweep itself through the SQ/CQ rings.
  */
 
@@ -51,36 +58,49 @@ struct RunOutcome
     bool correct = false;
     double throughputKops = 0.0;
     double p50Us = 0.0;
+    double p95Us = 0.0;
     double p99Us = 0.0;
     std::uint64_t gsanReports = 0;
     std::uint64_t interrupts = 0;
     std::uint64_t ringBatches = 0;
     double ringOccupancy = 0.0;
     std::uint64_t doorbellsSuppressed = 0;
+    std::uint64_t copiedBytes = 0;
+    std::uint64_t zerocopyBytes = 0;
 };
 
+/// The serving path under test is the pipelined one: deep enough that
+/// request trains pack frames across segment boundaries.
+constexpr std::uint32_t kPipelineDepth = 4;
+
 std::uint64_t g_totalGsanReports = 0;
+std::uint64_t g_totalCopiedBytes = 0;
 bool g_anyIncorrect = false;
 
 RunOutcome
 runPoint(const SweepPoint &p, std::uint32_t connections,
-         std::uint32_t requests_per_conn, bool rings)
+         std::uint32_t requests_per_conn, std::uint32_t pipeline,
+         bool rings, bool reserve_park_workers = false)
 {
     workloads::GkvConfig cfg;
     cfg.useGpu = true;
     cfg.numConnections = connections;
     cfg.requestsPerConn = requests_per_conn;
     cfg.serverGroups = 8;
+    cfg.pipelineDepth = pipeline;
 
     core::SystemConfig sc; // paper platform: 8 CUs, 4 CPU cores
     sc.genesys.areaShards = p.shards;
     sc.genesys.useRings = rings;
-    // Each server group parks a blocking epoll_wait in a workqueue
-    // worker (same floor as the memcached recvfrom servers). The
-    // reserve covers exactly those parks, so the sweep's worker axis
-    // is the host's non-parked service concurrency — tight enough
-    // that it binds under the 16-connection fan-in.
-    sc.kernel.workqueueWorkers = p.workers + cfg.serverGroups;
+    // The sweep's worker axis IS the workqueue pool: the epoll_wait
+    // parks share it with the data syscalls (work stealing spreads
+    // both), so a 1-worker host really does serialize the serving
+    // path. The submission-path section instead reserves one worker
+    // per parked server group (the seed configuration its 1.3x gate
+    // was calibrated against).
+    sc.kernel.workqueueWorkers =
+        reserve_park_workers ? p.workers + cfg.serverGroups
+                             : p.workers;
     core::System sys(sc);
     sys.gsan().setEnabled(true);
 
@@ -90,12 +110,25 @@ runPoint(const SweepPoint &p, std::uint32_t connections,
     out.correct = res.correct;
     out.throughputKops = res.throughputKops;
     out.p50Us = res.p50LatencyUs;
+    out.p95Us = res.p95LatencyUs;
     out.p99Us = res.p99LatencyUs;
     out.interrupts = sys.host().interrupts();
     out.ringBatches = sys.syscallArea().ringBatchesTotal();
     out.ringOccupancy = sys.syscallArea().ringBatchOccupancy();
     out.doorbellsSuppressed = sys.host().ringDoorbellsSuppressed();
+    out.copiedBytes = sys.kernel().tcp().counters().copiedBytes;
+    out.zerocopyBytes = sys.kernel().tcp().counters().zerocopyBytes;
+    g_totalGsanReports += out.gsanReports;
+    g_totalCopiedBytes += out.copiedBytes;
+    if (!out.correct)
+        g_anyIncorrect = true;
     return out;
+}
+
+std::string
+u64str(std::uint64_t v)
+{
+    return logging::format("%llu", static_cast<unsigned long long>(v));
 }
 
 } // namespace
@@ -113,28 +146,37 @@ main(int argc, char **argv)
     }
 
     banner("Ablation: net scaling",
-           rings ? "gkv GPU server over TCP+epoll (SQ/CQ ring "
-                   "submission); connections x area shards x "
+           rings ? "pipelined gkv GPU server over TCP+epoll (SQ/CQ "
+                   "ring submission); connections x area shards x "
                    "workqueue workers"
-                 : "gkv GPU server over TCP+epoll; connections x area "
-                   "shards x workqueue workers");
+                 : "pipelined gkv GPU server over TCP+epoll; "
+                   "connections x area shards x workqueue workers");
 
     const std::vector<SweepPoint> points =
-        quick ? std::vector<SweepPoint>{{1, 1}, {4, 4}}
-              : std::vector<SweepPoint>{{1, 1}, {1, 4}, {2, 4}, {4, 4}};
+        quick ? std::vector<SweepPoint>{{1, 1}, {8, 4}}
+              : std::vector<SweepPoint>{
+                    {1, 1}, {1, 2}, {2, 2}, {4, 4}, {8, 4}};
     const std::vector<std::uint32_t> conns =
-        quick ? std::vector<std::uint32_t>{2, 8}
+        quick ? std::vector<std::uint32_t>{2, 16}
               : std::vector<std::uint32_t>{2, 4, 8, 16};
     const std::uint32_t requests_per_conn = quick ? 6 : 12;
 
-    TextTable t("gkv throughput (kops/s)");
+    TextTable t(logging::format("gkv throughput (kops/s), pipeline "
+                                "depth %u",
+                                kPipelineDepth));
     std::vector<std::string> header = {"shards x workers"};
     for (auto c : conns)
         header.push_back(logging::format("conns=%u", c));
     t.setHeader(header);
 
-    TextTable lat("gkv latency p50/p99 (us)");
+    TextTable lat("gkv latency p50/p95/p99 (us)");
     lat.setHeader(header);
+
+    // Divergence gate inputs: the flat-baseline row (1x1) and the
+    // widest split (8x4) at the largest connection count, plus the
+    // 8x4 row's p99 at the smallest and largest counts.
+    double base_kops = 0.0, wide_kops = 0.0;
+    double wide_p99_first = 0.0, wide_p99_last = 0.0;
 
     bool any_scales = false;
     for (const auto &p : points) {
@@ -143,22 +185,34 @@ main(int argc, char **argv)
         std::vector<std::string> lrow = row;
         double first = 0.0, last = 0.0;
         for (std::size_t ci = 0; ci < conns.size(); ++ci) {
-            const RunOutcome out =
-                runPoint(p, conns[ci], requests_per_conn, rings);
-            g_totalGsanReports += out.gsanReports;
+            const RunOutcome out = runPoint(
+                p, conns[ci], requests_per_conn, kPipelineDepth,
+                rings);
             if (!out.correct) {
-                g_anyIncorrect = true;
                 row.push_back("FAIL");
                 lrow.push_back("FAIL");
                 continue;
             }
             row.push_back(logging::format("%.1f", out.throughputKops));
-            lrow.push_back(logging::format("%.1f/%.1f", out.p50Us,
+            lrow.push_back(logging::format("%.1f/%.1f/%.1f",
+                                           out.p50Us, out.p95Us,
                                            out.p99Us));
             if (ci == 0)
                 first = out.throughputKops;
             if (ci == conns.size() - 1)
                 last = out.throughputKops;
+            const bool widest = p.shards == points.back().shards &&
+                                p.workers == points.back().workers;
+            if (ci == conns.size() - 1) {
+                if (p.shards == 1 && p.workers == 1)
+                    base_kops = out.throughputKops;
+                if (widest)
+                    wide_kops = out.throughputKops;
+            }
+            if (widest && ci == 0)
+                wide_p99_first = out.p99Us;
+            if (widest && ci == conns.size() - 1)
+                wide_p99_last = out.p99Us;
         }
         t.addRow(row);
         lat.addRow(lrow);
@@ -173,24 +227,67 @@ main(int argc, char **argv)
     std::printf("%s\n", t.render().c_str());
     std::printf("%s\n", lat.render().c_str());
 
+    // Pipelining depth x connections-per-WG sweep at the widest
+    // split: deeper windows pack more frames per wire segment and
+    // keep the server groups busy between client turnarounds. The
+    // copied/zerocopy counters prove the whole rx path stayed on
+    // loaned segments at every depth.
+    const SweepPoint widest = points.back();
+    const std::vector<std::uint32_t> depths =
+        quick ? std::vector<std::uint32_t>{1, 4}
+              : std::vector<std::uint32_t>{1, 2, 4, 8};
+    const std::vector<std::uint32_t> depth_conns =
+        quick ? std::vector<std::uint32_t>{16}
+              : std::vector<std::uint32_t>{4, 16};
+    TextTable dt(logging::format("pipeline depth x connections at "
+                                 "%u x %u (8 server WGs)",
+                                 widest.shards, widest.workers));
+    dt.setHeader({"depth", "conns", "conns/WG", "kops",
+                  "p50/p95/p99 (us)", "copied B", "zerocopy B"});
+    for (auto depth : depths) {
+        for (auto c : depth_conns) {
+            const RunOutcome out = runPoint(
+                widest, c, requests_per_conn, depth, rings);
+            if (!out.correct) {
+                dt.addRow({u64str(depth), u64str(c), "-", "FAIL", "-",
+                           "-", "-"});
+                continue;
+            }
+            dt.addRow({u64str(depth), u64str(c),
+                       logging::format("%.1f", c / 8.0),
+                       logging::format("%.1f", out.throughputKops),
+                       logging::format("%.1f/%.1f/%.1f", out.p50Us,
+                                       out.p95Us, out.p99Us),
+                       u64str(out.copiedBytes),
+                       u64str(out.zerocopyBytes)});
+        }
+    }
+    std::printf("%s\n", dt.render().c_str());
+
     // Head-to-head at the largest connection count: per-slot
-    // doorbells versus ring batches, same platform, same load.
+    // doorbells versus ring batches, same platform, same load. Run
+    // unpipelined (depth 1) with the park-reserve worker pool — one
+    // slot per request is the load where the per-slot interrupt storm
+    // is worst and the ring's one-doorbell-per-batch pays most; the
+    // pipelined path above already amortizes doorbells in the
+    // descriptor train, which shrinks the ring's remaining edge.
     const std::uint32_t cmp_conns = conns.back();
     TextTable cmp(logging::format(
-        "submission path at conns=%u (per-slot vs SQ/CQ ring)",
+        "submission path at conns=%u, depth 1 (per-slot vs SQ/CQ "
+        "ring)",
         cmp_conns));
     cmp.setHeader({"shards x workers", "slot kops", "ring kops",
                    "speedup", "interrupts", "batch occ",
                    "bells saved"});
     double best_speedup = 0.0;
     for (const auto &p : points) {
-        const RunOutcome slot =
-            runPoint(p, cmp_conns, requests_per_conn, false);
-        const RunOutcome ring =
-            runPoint(p, cmp_conns, requests_per_conn, true);
-        g_totalGsanReports += slot.gsanReports + ring.gsanReports;
+        const RunOutcome slot = runPoint(p, cmp_conns,
+                                         requests_per_conn, 1, false,
+                                         true);
+        const RunOutcome ring = runPoint(p, cmp_conns,
+                                         requests_per_conn, 1, true,
+                                         true);
         if (!slot.correct || !ring.correct) {
-            g_anyIncorrect = true;
             cmp.addRow({logging::format("%u x %u", p.shards,
                                         p.workers),
                         "FAIL", "FAIL", "-", "-", "-", "-"});
@@ -211,9 +308,7 @@ main(int argc, char **argv)
                                     static_cast<unsigned long long>(
                                         ring.interrupts)),
                     logging::format("%.2f", ring.ringOccupancy),
-                    logging::format("%llu",
-                                    static_cast<unsigned long long>(
-                                        ring.doorbellsSuppressed))});
+                    u64str(ring.doorbellsSuppressed)});
     }
     std::printf("%s\n", cmp.render().c_str());
 
@@ -228,6 +323,41 @@ main(int argc, char **argv)
                     "per-slot doorbells at conns=%u\n",
                     best_speedup, cmp_conns);
     }
+    // Divergence gate: the whole point of the pipelined serving path
+    // is that the widest split pulls away from the flat baseline.
+    // CI's quick mode guards the old flatness (within 10% = flat);
+    // the full sweep holds the paper-style 2x.
+    const double need = quick ? 1.10 : 2.0;
+    const double ratio = base_kops > 0 ? wide_kops / base_kops : 0.0;
+    if (ratio < need) {
+        std::printf("divergence: %ux%u is %.2fx of 1x1 at conns=%u "
+                    "(< %.2fx) -- FAIL\n",
+                    points.back().shards, points.back().workers,
+                    ratio, cmp_conns, need);
+        rc = 1;
+    } else {
+        std::printf("divergence: %ux%u reaches %.2fx over 1x1 at "
+                    "conns=%u\n",
+                    points.back().shards, points.back().workers,
+                    ratio, cmp_conns);
+    }
+    // p99 must stay bounded under the connection fan-in: the widest
+    // split may not trade its throughput for a tail blow-up.
+    if (wide_p99_first > 0 &&
+        wide_p99_last > 8.0 * wide_p99_first) {
+        std::printf("latency: %ux%u p99 grew %.1fx from conns=%u to "
+                    "conns=%u (> 8.0x) -- FAIL\n",
+                    points.back().shards, points.back().workers,
+                    wide_p99_last / wide_p99_first, conns.front(),
+                    conns.back());
+        rc = 1;
+    } else if (wide_p99_first > 0) {
+        std::printf("latency: %ux%u p99 %.1f -> %.1f us across the "
+                    "fan-in (%.1fx, bounded)\n",
+                    points.back().shards, points.back().workers,
+                    wide_p99_first, wide_p99_last,
+                    wide_p99_last / wide_p99_first);
+    }
     if (g_anyIncorrect) {
         std::printf("correctness: some runs returned bad replies "
                     "-- FAIL\n");
@@ -240,6 +370,16 @@ main(int argc, char **argv)
     } else {
         std::printf("scaling: throughput rises with connections in "
                     "at least one config\n");
+    }
+    if (g_totalCopiedBytes > 0) {
+        std::printf("zero-copy: %llu rx byte(s) copied across the "
+                    "sweep (want 0) -- FAIL\n",
+                    static_cast<unsigned long long>(
+                        g_totalCopiedBytes));
+        rc = 1;
+    } else {
+        std::printf("zero-copy: 0 rx bytes copied; all traffic on "
+                    "loaned segments\n");
     }
     if (g_totalGsanReports > 0) {
         std::printf("gsan: %llu report(s) across the sweep -- FAIL\n",

@@ -40,6 +40,13 @@ Rules
                         (loadHeadAcquire / storeTailRelease / ...); a
                         raw load or store elsewhere silently drops the
                         DESIGN.md §13 memory-ordering contract
+  segment-loan          TcpSocket::readSegments transfers NetSeg
+                        ownership whose loan lifetime the caller must
+                        manage by hand (a recvmsg(MSG_ZEROCOPY) loan
+                        dies at the next recvmsg on the same fd); only
+                        the audited zero-copy paths may call it —
+                        everything else goes through the recvmsg
+                        syscall, whose loan retirement is automatic
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -78,6 +85,15 @@ SEND_INTERRUPT_RE = re.compile(r"\bsendInterrupt\s*\(")
 RING_ACCESSOR_FILES = {"src/core/ring.hh"}
 RING_RAW_COUNTER_RE = re.compile(
     r"\b(headRaw_|tailRaw_|claimedRaw_)\b")
+
+# The audited direct consumers of the zero-copy segment loan: the
+# implementation itself, the recvmsg(MSG_ZEROCOPY) syscall layer that
+# parks loans on the OpenFile and retires them on the next call, and
+# the gkv load generator whose client-side parse is the reference
+# loan-discipline example (parse completes before the next drain).
+SEGMENT_LOAN_FILES = {"src/osk/tcp.hh", "src/osk/tcp.cc",
+                      "src/osk/syscalls.cc", "src/workloads/gkv.cc"}
+READ_SEGMENTS_RE = re.compile(r"\breadSegments\s*\(")
 
 SYSNO_FILE = "src/osk/syscalls.hh"
 CLASSIFICATION_FILE = "src/osk/classification.cc"
@@ -344,6 +360,16 @@ def check_file(relpath, scrubbed, unordered_names):
                 "(loadHeadAcquire / storeTailRelease / ...)"
                 % m.group(1))
 
+    if relpath not in SEGMENT_LOAN_FILES:
+        for m in READ_SEGMENTS_RE.finditer(scrubbed):
+            add(m.start(), "segment-loan",
+                "readSegments hands out loaned NetSegs whose lifetime "
+                "the caller must manage by hand; only the audited "
+                "zero-copy paths (src/osk/tcp.*, src/osk/syscalls.cc, "
+                "src/workloads/gkv.cc) may call it — use "
+                "recvmsg(MSG_ZEROCOPY), which retires its loans "
+                "automatically on the next call")
+
     file_unordered = unordered_names.get(relpath, set())
     for regex in (FOR_RANGE_RE, BEGIN_RE):
         for m in regex.finditer(scrubbed):
@@ -525,6 +551,20 @@ SELF_TEST_CASES = [
      "// reads headRaw_ via loadHeadAcquire()\nvoid f();", None),
     ("ring counter allow escape", "src/core/x.cc",
      "auto h = r.headRaw_; // glint: allow(ring-raw-counter)", None),
+    ("readSegments outside the audited loan paths", "src/core/x.cc",
+     "sim::Task<> f(osk::TcpSocket *s, osk::NetSeg *o) "
+     "{ co_await s->readSegments(o, 8, false); }", "segment-loan"),
+    ("readSegments in the syscall layer ok", "src/osk/syscalls.cc",
+     "sim::Task<> f(osk::TcpSocket *s, osk::NetSeg *o) "
+     "{ co_await s->readSegments(o, 8, true); }", None),
+    ("readSegments in gkv ok", "src/workloads/gkv.cc",
+     "sim::Task<> f(osk::TcpSocket *s, osk::NetSeg *o) "
+     "{ co_await s->readSegments(o, 8, false); }", None),
+    ("readSegments in a comment ok", "src/core/x.cc",
+     "// drained via readSegments(out, 8, false)\nvoid f();", None),
+    ("readSegments allow escape", "src/core/x.cc",
+     "co_await s->readSegments(o, 8, false); "
+     "// glint: allow(segment-loan)", None),
     ("banned name in raw string ok", "src/core/x.cc",
      'const char *s = R"(calls rand() at time(nullptr))";\n'
      "void f();", None),

@@ -1,9 +1,28 @@
 #include "analysis/callgraph.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <sstream>
 
 namespace genesys::analysis
 {
+
+namespace
+{
+
+/// Memo key component: the sign context, joined deterministically.
+std::string
+ctxKey(const std::set<std::string> &ctx)
+{
+    std::string key;
+    for (const std::string &s : ctx) {
+        key += s;
+        key += ',';
+    }
+    return key;
+}
+
+} // namespace
 
 const char *
 parkKindName(ParkKind k)
@@ -48,6 +67,20 @@ CallGraph::CallGraph(const Program &prog) : prog_(prog)
     }
 }
 
+bool
+CallGraph::arityOk(const CallSite &call, int def) const
+{
+    if (call.argCount < 0)
+        return true; // unparsed site: stay conservative
+    const Function &f =
+        prog_.functions[static_cast<std::size_t>(def)];
+    if (f.minArgs >= 0 && call.argCount < f.minArgs)
+        return false;
+    if (f.maxArgs >= 0 && call.argCount > f.maxArgs)
+        return false;
+    return true;
+}
+
 std::vector<int>
 CallGraph::resolveDefs(const CallSite &call) const
 {
@@ -57,17 +90,23 @@ CallGraph::resolveDefs(const CallSite &call) const
     auto defs = prog_.byShortName.find(call.callee);
     if (defs == prog_.byShortName.end())
         return out;
-    if (call.qualifier.empty())
-        return defs->second;
+    if (call.qualifier.empty()) {
+        for (int def : defs->second) {
+            if (arityOk(call, def))
+                out.push_back(def);
+        }
+        return out;
+    }
     const std::string want = call.qualifier + "::" + call.callee;
     const std::string wantSuffix = "::" + want;
     for (int def : defs->second) {
         const std::string &qual =
             prog_.functions[static_cast<std::size_t>(def)].qualName;
-        if (qual == want ||
-            (qual.size() > wantSuffix.size() &&
-             qual.compare(qual.size() - wantSuffix.size(),
-                          wantSuffix.size(), wantSuffix) == 0))
+        if ((qual == want ||
+             (qual.size() > wantSuffix.size() &&
+              qual.compare(qual.size() - wantSuffix.size(),
+                           wantSuffix.size(), wantSuffix) == 0)) &&
+            arityOk(call, def))
             out.push_back(def);
     }
     return out;
@@ -114,12 +153,50 @@ CallGraph::syncCalls(int idx)
     return syncMemo_.emplace(idx, std::move(out)).first->second;
 }
 
+std::set<std::string>
+CallGraph::calleeCtx(const CallSite &call, int def,
+                     const std::set<std::string> &ctx) const
+{
+    std::set<std::string> out;
+    const Function &cf =
+        prog_.functions[static_cast<std::size_t>(def)];
+    const std::size_t n =
+        std::min(call.args.size(), cf.params.size());
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::string &a = call.args[p];
+        if (a.empty() || cf.params[p].empty())
+            continue;
+        // Number tokens never carry a sign, so a literal argument is
+        // always non-negative.
+        const bool literal =
+            std::isdigit(static_cast<unsigned char>(a[0])) != 0;
+        if (literal || call.nonNegHere.count(a) != 0 ||
+            ctx.count(a) != 0)
+            out.insert(cf.params[p]);
+    }
+    return out;
+}
+
 ParkSummary
 CallGraph::callParkSummary(int fromIdx, const CallSite &call)
+{
+    static const std::set<std::string> empty;
+    return callParkSummary(fromIdx, call, empty);
+}
+
+ParkSummary
+CallGraph::callParkSummary(int fromIdx, const CallSite &call,
+                           const std::set<std::string> &ctx)
 {
     ParkSummary best;
     if (terminals_.count(call.callee) != 0)
         return best;
+    // Unreachable under this context: the site sits behind an
+    // `x >= 0` early return while the caller guarantees x >= 0.
+    for (const std::string &n : call.negHere) {
+        if (ctx.count(n) != 0)
+            return best;
+    }
     auto seed = seeds_.find(call.callee);
     if (seed != seeds_.end() && call.qualifier.empty()) {
         best.kind = seed->second;
@@ -135,7 +212,8 @@ CallGraph::callParkSummary(int fromIdx, const CallSite &call)
     for (int def : resolveDefs(call)) {
         if (def == fromIdx)
             continue;
-        const ParkSummary &sub = parkSummary(def);
+        const ParkSummary &sub =
+            parkSummary(def, calleeCtx(call, def, ctx));
         if (sub.kind > best.kind) {
             best.kind = sub.kind;
             best.witness.clear();
@@ -151,7 +229,15 @@ CallGraph::callParkSummary(int fromIdx, const CallSite &call)
 const ParkSummary &
 CallGraph::parkSummary(int idx)
 {
-    auto it = parkMemo_.find(idx);
+    static const std::set<std::string> empty;
+    return parkSummary(idx, empty);
+}
+
+const ParkSummary &
+CallGraph::parkSummary(int idx, const std::set<std::string> &ctx)
+{
+    auto key = std::make_pair(idx, ctxKey(ctx));
+    auto it = parkMemo_.find(key);
     if (it != parkMemo_.end())
         return it->second;
     if (onStack_[idx]) {
@@ -160,17 +246,18 @@ CallGraph::parkSummary(int idx)
         return none;
     }
     onStack_[idx] = true;
-    ParkSummary result = computePark(idx);
+    ParkSummary result = computePark(idx, ctx);
     onStack_[idx] = false;
-    return parkMemo_.emplace(idx, std::move(result)).first->second;
+    return parkMemo_.emplace(std::move(key), std::move(result))
+        .first->second;
 }
 
 ParkSummary
-CallGraph::computePark(int idx)
+CallGraph::computePark(int idx, const std::set<std::string> &ctx)
 {
     ParkSummary best;
     for (const CallSite &c : syncCalls(idx)) {
-        ParkSummary s = callParkSummary(idx, c);
+        ParkSummary s = callParkSummary(idx, c, ctx);
         if (s.kind > best.kind)
             best = std::move(s);
         if (best.kind == ParkKind::Indefinite)

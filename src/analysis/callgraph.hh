@@ -4,8 +4,9 @@
  *
  * Resolution is name-based: a call site `f(...)` is connected to every
  * extracted definition whose short name is `f` (a may-call
- * over-approximation). On top of that graph this layer computes, per
- * function:
+ * over-approximation), refined by arity — a call spelling k arguments
+ * only targets definitions whose parameter count admits k. On top of
+ * that graph this layer computes, per function:
  *
  *  - a **park summary**: the strongest parking behavior reachable
  *    through synchronous edges (direct calls plus non-deferred lambda
@@ -23,6 +24,15 @@
  * thread and must not be charged to the caller's synchronous flow.
  * Recursion is handled by treating back edges as contributing nothing
  * (a cycle alone cannot introduce a park the cycle body lacks).
+ *
+ * Park summaries are additionally **sign-context sensitive**: the
+ * extractor records, per call site, identifiers a dominating
+ * `if (x < 0) return ...;` / `if (x >= 0) return ...;` guard proves
+ * non-negative / negative, and simple positional argument forwarding
+ * carries the facts across calls. A handler that rejects `off < 0`
+ * with -EINVAL before forwarding `off` therefore does not inherit
+ * parks that sit behind the callee's `pos_override >= 0` -ESPIPE
+ * early return (the pread/pwrite seekable-flow false positives).
  */
 
 #ifndef GENESYS_ANALYSIS_CALLGRAPH_HH
@@ -70,12 +80,29 @@ class CallGraph
     const ParkSummary &parkSummary(int idx);
 
     /**
+     * Park summary of functions[idx] under a sign context: @p ctx
+     * names parameters of functions[idx] known non-negative at the
+     * call being analyzed. Call sites dominated by an
+     * `if (param >= 0) return ...;` guard on a ctx member are
+     * unreachable and contribute nothing; the context propagates
+     * through simple argument forwarding (an argument that is a
+     * non-negative literal, locally guarded, or itself a ctx member
+     * makes the callee's parameter a ctx member in turn).
+     */
+    const ParkSummary &parkSummary(int idx,
+                                   const std::set<std::string> &ctx);
+
+    /**
      * Park behavior of a single call site resolved in @p fromIdx:
      * seed-name parks resolve at the site itself, otherwise the
      * strongest summary among same-named definitions. Returns a
      * summary whose witness starts at the call site.
      */
     ParkSummary callParkSummary(int fromIdx, const CallSite &call);
+
+    /** callParkSummary under a sign context (see parkSummary). */
+    ParkSummary callParkSummary(int fromIdx, const CallSite &call,
+                                const std::set<std::string> &ctx);
 
     /** lockId -> witness chain for every lock functions[idx] may
      *  acquire, directly or transitively (memoized). */
@@ -89,7 +116,12 @@ class CallGraph
      *  every definition sharing the short name; explicitly qualified
      *  calls (std::fprintf, A::B::f) only match definitions whose
      *  qualified name agrees — an external qualified call resolves to
-     *  nothing. Calls to noreturn terminators resolve to nothing. */
+     *  nothing. Calls to noreturn terminators resolve to nothing.
+     *  Arity-refined: a call spelling k arguments never targets a
+     *  definition requiring more than k or accepting fewer (defaults
+     *  and packs widen a definition's acceptable range), so
+     *  `dev->read(pos, buf, len)` does not resolve to the two-argument
+     *  `TcpSocket::read` just because the short names collide. */
     std::vector<int> resolveDefs(const CallSite &call) const;
 
     const Program &program() const { return prog_; }
@@ -98,15 +130,22 @@ class CallGraph
     std::string callStep(int fromIdx, const CallSite &call) const;
 
   private:
-    ParkSummary computePark(int idx);
+    ParkSummary computePark(int idx, const std::set<std::string> &ctx);
     std::map<std::string, LockAcq> computeLocks(int idx);
+    /// Can @p call's spelled arity target functions[def]?
+    bool arityOk(const CallSite &call, int def) const;
+    /// The callee-side sign context induced by @p call under @p ctx.
+    std::set<std::string> calleeCtx(const CallSite &call, int def,
+                                    const std::set<std::string> &ctx)
+        const;
 
     const Program &prog_;
     /// Seed park kinds by callee short name.
     std::map<std::string, ParkKind> seeds_;
     /// Noreturn terminators: calls to these propagate nothing.
     std::set<std::string> terminals_;
-    std::map<int, ParkSummary> parkMemo_;
+    /// Keyed by (function index, joined sign context).
+    std::map<std::pair<int, std::string>, ParkSummary> parkMemo_;
     std::map<int, std::map<std::string, LockAcq>> lockMemo_;
     std::map<int, std::vector<CallSite>> syncMemo_;
     std::map<int, bool> onStack_;

@@ -83,6 +83,7 @@ class FileExtractor
     {
         std::size_t i = 0;
         parseDeclScope(i, toks_.size(), {});
+        markGuardFacts();
     }
 
   private:
@@ -360,6 +361,7 @@ class FileExtractor
         fn.fileIndex = fileIndex_;
         fn.line = defLine;
         fn.bodyBegin = j;
+        parseParams(i + 1, close, fn);
         prog_.functions.push_back(std::move(fn));
         std::size_t end = scanBody(j, limit, funcIdx, qual);
         prog_.functions[static_cast<std::size_t>(funcIdx)].bodyEnd =
@@ -373,6 +375,156 @@ class FileExtractor
     {
         std::size_t end = matchForward(braceIdx, "{", "}", limit);
         return end + 1 < limit && isPunct(toks_[end + 1], ",");
+    }
+
+    /**
+     * Recover parameter names and arity bounds from the signature
+     * parens [@p lparen, @p rparen]. A parameter's name is the last
+     * top-level identifier of its comma segment that is neither a
+     * keyword nor part of a qualified type (adjacent to `::`),
+     * stopping at a default-value `=`. Defaulted parameters lower the
+     * required arity; a pack/ellipsis makes the maximum unbounded.
+     */
+    void
+    parseParams(std::size_t lparen, std::size_t rparen,
+                Function &fn) const
+    {
+        fn.minArgs = 0;
+        fn.maxArgs = 0;
+        if (rparen <= lparen + 1)
+            return; // ()
+        auto flush = [&](std::size_t b, std::size_t e) {
+            if (fn.maxArgs < 0)
+                return; // already unbounded past a pack
+            std::string name;
+            bool defaulted = false;
+            int depth = 0;
+            for (std::size_t k = b; k < e; ++k) {
+                const Token &t = toks_[k];
+                if (isPunct(t, "(") || isPunct(t, "[") ||
+                    isPunct(t, "{")) {
+                    ++depth;
+                    continue;
+                }
+                if (isPunct(t, ")") || isPunct(t, "]") ||
+                    isPunct(t, "}")) {
+                    --depth;
+                    continue;
+                }
+                if (depth > 0)
+                    continue;
+                if (isPunct(t, "<")) {
+                    k = skipAngles(k, e) - 1;
+                    continue;
+                }
+                if (isPunct(t, "=")) {
+                    defaulted = true;
+                    break;
+                }
+                if (isPunct(t, ".")) { // ellipsis / parameter pack
+                    fn.maxArgs = -1;
+                    return;
+                }
+                if (isIdent(t) && keywords().count(t.text) == 0) {
+                    const bool qualified =
+                        (k > b && isPunct(toks_[k - 1], "::")) ||
+                        (k + 1 < e && isPunct(toks_[k + 1], "::"));
+                    if (!qualified)
+                        name = t.text;
+                }
+            }
+            if (e == b + 1 && isIdent(toks_[b]) &&
+                toks_[b].text == "void")
+                return; // (void): no parameters
+            fn.params.push_back(name);
+            ++fn.maxArgs;
+            if (!defaulted)
+                ++fn.minArgs;
+        };
+        int depth = 0;
+        std::size_t b = lparen + 1;
+        for (std::size_t k = lparen + 1; k < rparen; ++k) {
+            const Token &t = toks_[k];
+            if (isPunct(t, "(") || isPunct(t, "[") ||
+                isPunct(t, "{")) {
+                ++depth;
+                continue;
+            }
+            if (isPunct(t, ")") || isPunct(t, "]") ||
+                isPunct(t, "}")) {
+                --depth;
+                continue;
+            }
+            if (depth != 0)
+                continue;
+            if (isPunct(t, "<")) {
+                k = skipAngles(k, rparen) - 1;
+                continue;
+            }
+            if (isPunct(t, ",")) {
+                flush(b, k);
+                b = k + 1;
+            }
+        }
+        flush(b, rparen);
+    }
+
+    /**
+     * Split a call's argument list [@p lparen, @p rparen] on
+     * top-level commas into @p cs: the arity plus, per position, the
+     * spelled name when the argument is a single identifier or number
+     * token. Template argument sections after an identifier
+     * (`as<int>(0)`) are skipped; a lone `<` with no matching `>`
+     * stays an ordinary comparison.
+     */
+    void
+    captureArgs(std::size_t lparen, std::size_t rparen, CallSite &cs)
+        const
+    {
+        if (rparen <= lparen)
+            return; // unbalanced: leave argCount unknown
+        if (rparen == lparen + 1) {
+            cs.argCount = 0;
+            return;
+        }
+        auto flush = [&](std::size_t b, std::size_t e) {
+            if (e == b + 1 && (isIdent(toks_[b]) ||
+                               toks_[b].kind == TokKind::Number))
+                cs.args.push_back(toks_[b].text);
+            else
+                cs.args.push_back("");
+        };
+        int depth = 0;
+        std::size_t b = lparen + 1;
+        for (std::size_t k = lparen + 1; k < rparen; ++k) {
+            const Token &t = toks_[k];
+            if (isPunct(t, "(") || isPunct(t, "[") ||
+                isPunct(t, "{")) {
+                ++depth;
+                continue;
+            }
+            if (isPunct(t, ")") || isPunct(t, "]") ||
+                isPunct(t, "}")) {
+                --depth;
+                continue;
+            }
+            if (depth != 0)
+                continue;
+            if (isPunct(t, "<") && isIdent(toks_[k - 1])) {
+                const std::size_t after = skipAngles(k, rparen);
+                if (after > k + 1 && after <= rparen &&
+                    isPunct(toks_[after - 1], ">")) {
+                    k = after - 1;
+                    continue;
+                }
+            }
+            if (isPunct(t, ",")) {
+                flush(b, k);
+                b = k + 1;
+            }
+        }
+        flush(b, rparen);
+        cs.argCount = static_cast<int>(cs.args.size());
     }
 
     // ---- body scanning --------------------------------------------
@@ -483,6 +635,8 @@ class FileExtractor
                     cs.tokenIndex = i - 1;
                     cs.deferred = inDeferral();
                     cs.heldLocks = heldNow(guards);
+                    captureArgs(i, matchForward(i, "(", ")", limit),
+                                cs);
                     // lock()/unlock() through a receiver are lock
                     // events, not interesting call sites.
                     if (cs.callee == "lock" || cs.callee == "unlock") {
@@ -712,6 +866,107 @@ class FileExtractor
         prog_.functions[static_cast<std::size_t>(funcIdx)].bodyEnd =
             end;
         return end;
+    }
+
+    /// A dominating sign guard and the token range it covers.
+    struct GuardRange
+    {
+        std::string name;
+        bool nonNeg = false; ///< true: name >= 0 past the guard
+        std::size_t begin = 0;
+        std::size_t end = 0; ///< inclusive (the block's '}')
+    };
+
+    /**
+     * Find dominating sign guards and stamp their facts onto call
+     * sites: `if (x < 0) return ...;` proves x non-negative from the
+     * guard to the end of its enclosing brace block, and
+     * `if (x >= 0) return ...;` proves it negative. The guarded
+     * statement must divert control (a lone return/co_return, or a
+     * block starting with one); anything else contributes no fact.
+     * The callgraph uses these to prune sites unreachable under a
+     * caller-provided sign context — the pread/pwrite handlers guard
+     * `off < 0` with -EINVAL, so the stream/pipe parks behind the
+     * callee's `pos_override >= 0` -ESPIPE return cannot be reached.
+     */
+    void
+    markGuardFacts()
+    {
+        std::vector<GuardRange> ranges;
+        std::vector<std::size_t> braces;
+        for (std::size_t i = 0; i < toks_.size(); ++i) {
+            const Token &t = toks_[i];
+            if (isPunct(t, "{")) {
+                braces.push_back(i);
+                continue;
+            }
+            if (isPunct(t, "}")) {
+                if (!braces.empty())
+                    braces.pop_back();
+                continue;
+            }
+            if (!isIdent(t) || t.text != "if" || braces.empty())
+                continue;
+            if (i + 5 >= toks_.size() || !isPunct(toks_[i + 1], "(") ||
+                !isIdent(toks_[i + 2]))
+                continue;
+            std::size_t r = 0; // index of the condition's ')'
+            bool nonNeg = false;
+            if (isPunct(toks_[i + 3], "<") &&
+                toks_[i + 4].kind == TokKind::Number &&
+                toks_[i + 4].text == "0" && isPunct(toks_[i + 5], ")")) {
+                r = i + 5;
+                nonNeg = true;
+            } else if (i + 6 < toks_.size() &&
+                       isPunct(toks_[i + 3], ">") &&
+                       isPunct(toks_[i + 4], "=") &&
+                       toks_[i + 5].kind == TokKind::Number &&
+                       toks_[i + 5].text == "0" &&
+                       isPunct(toks_[i + 6], ")")) {
+                r = i + 6;
+                nonNeg = false;
+            } else {
+                continue;
+            }
+            std::size_t stmtEnd = 0;
+            if (r + 1 < toks_.size() && isIdent(toks_[r + 1]) &&
+                (toks_[r + 1].text == "return" ||
+                 toks_[r + 1].text == "co_return")) {
+                std::size_t s = r + 1;
+                while (s < toks_.size() && !isPunct(toks_[s], ";"))
+                    ++s;
+                stmtEnd = s;
+            } else if (r + 2 < toks_.size() &&
+                       isPunct(toks_[r + 1], "{") &&
+                       isIdent(toks_[r + 2]) &&
+                       (toks_[r + 2].text == "return" ||
+                        toks_[r + 2].text == "co_return")) {
+                stmtEnd = matchForward(r + 1, "{", "}", toks_.size());
+            } else {
+                continue;
+            }
+            const std::size_t blockEnd =
+                matchForward(braces.back(), "{", "}", toks_.size());
+            if (stmtEnd + 1 >= blockEnd)
+                continue;
+            ranges.push_back(
+                {toks_[i + 2].text, nonNeg, stmtEnd + 1, blockEnd});
+        }
+        if (ranges.empty())
+            return;
+        for (Function &f : prog_.functions) {
+            if (f.fileIndex != fileIndex_)
+                continue;
+            for (CallSite &c : f.calls) {
+                for (const GuardRange &g : ranges) {
+                    if (c.tokenIndex < g.begin ||
+                        c.tokenIndex > g.end)
+                        continue;
+                    (g.nonNeg ? c.nonNegHere : c.negHere)
+                        .insert(g.name);
+                }
+            }
+        }
     }
 
     Program &prog_;

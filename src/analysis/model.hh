@@ -41,6 +41,19 @@ struct CallSite
     bool deferred = false;
     /// Lock ids held at this call site (empty for most).
     std::vector<std::string> heldLocks;
+    /// Number of top-level arguments spelled at the site, for
+    /// arity-refined resolution; -1 when the list was unparseable.
+    int argCount = -1;
+    /// Per-position arguments: the spelled name when the argument is
+    /// a single identifier or number token, "" for anything richer.
+    std::vector<std::string> args;
+    /// Identifiers a dominating `if (x < 0) return ...;` guard proves
+    /// non-negative at this site.
+    std::set<std::string> nonNegHere;
+    /// Identifiers a dominating `if (x >= 0) return ...;` guard
+    /// proves negative at this site — the site is unreachable when a
+    /// caller guarantees x >= 0 (the pread/pwrite -ESPIPE flow).
+    std::set<std::string> negHere;
 };
 
 /** One lock acquisition event, in body token order. */
@@ -93,6 +106,14 @@ struct Function
     /// Lambda handed to a deferral sink: calls inside it are NOT
     /// synchronous work of the parent.
     bool deferred = false;
+    /// Parameter names in declaration order ("" when unnamed or not
+    /// recovered from the signature).
+    std::vector<std::string> params;
+    /// Arity bounds for call-site resolution: required (non-defaulted)
+    /// parameters and total parameters. -1 = unknown / unbounded
+    /// (unparsed signature or a parameter pack).
+    int minArgs = -1;
+    int maxArgs = -1;
 
     std::vector<CallSite> calls;
     std::vector<LockEvent> lockEvents;

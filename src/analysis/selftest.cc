@@ -125,6 +125,146 @@ buildTable()
 )src"}},
          {{"nonblocking-handler-parks", 2}}});
 
+    // ---- may-park: sign-context sensitivity -------------------------
+    // The pread/pwrite -ESPIPE flow: the handler rejects a negative
+    // offset up front, and the shared path's parks all sit behind an
+    // `off >= 0` early return, so the handler can never reach them.
+    cases.push_back(
+        {"sign-guard-flow-clean",
+         {{"corpus/sign_guard.cc", R"src(
+namespace osk
+{
+namespace sysno
+{
+inline constexpr int pread64 = 17;
+} // namespace sysno
+} // namespace osk
+
+bool
+mayBlockIndefinitely(int n)
+{
+    return false;
+}
+
+long
+doStreamRead(WaitQueue &wq, long pos_override)
+{
+    if (pos_override >= 0)
+        return -29; // -ESPIPE: streams are not seekable
+    return wq.wait(); // only reachable with pos_override < 0
+}
+
+long
+sysPread(WaitQueue &wq, long off)
+{
+    if (off < 0)
+        return -22; // -EINVAL: negative offsets rejected up front
+    return doStreamRead(wq, off); // negative: the park is dead here
+}
+
+void
+buildTable()
+{
+    install(sysno::pread64, "pread64", sysPread);
+}
+)src"}},
+         {}});
+
+    // Without the caller-side guard the same callee park is live: the
+    // handler can forward a negative offset straight into the wait.
+    cases.push_back(
+        {"sign-guard-flow-unguarded",
+         {{"corpus/sign_unguarded.cc", R"src(
+namespace osk
+{
+namespace sysno
+{
+inline constexpr int pread64 = 17;
+} // namespace sysno
+} // namespace osk
+
+bool
+mayBlockIndefinitely(int n)
+{
+    return false;
+}
+
+long
+doStreamRead(WaitQueue &wq, long pos_override)
+{
+    if (pos_override >= 0)
+        return -29;
+    return wq.wait();
+}
+
+long
+sysPread(WaitQueue &wq, long off)
+{
+    return doStreamRead(wq, off); // seeded defect: off may be < 0
+}
+
+void
+buildTable()
+{
+    install(sysno::pread64, "pread64", sysPread);
+}
+)src"}},
+         {{"nonblocking-handler-parks", 1}}});
+
+    // ---- may-park: arity-refined resolution -------------------------
+    // Two definitions share a short name; only the arity-matching one
+    // is a may-call target. The two-argument stream read parks, the
+    // one-argument device read does not.
+    cases.push_back(
+        {"arity-refined-resolution",
+         {{"corpus/arity.cc", R"src(
+namespace osk
+{
+namespace sysno
+{
+inline constexpr int ioctl = 16;
+inline constexpr int dup = 32;
+} // namespace sysno
+} // namespace osk
+
+bool
+mayBlockIndefinitely(int n)
+{
+    return false;
+}
+
+struct Stream
+{
+    WaitQueue wq_;
+    long read(void *buf, unsigned long len) { return wq_.wait(); }
+};
+
+struct Device
+{
+    long read(unsigned long bytes) { return 0; }
+};
+
+long
+sysIoctl(Device &dev)
+{
+    return dev.read(16); // negative: one arg cannot be Stream::read
+}
+
+long
+sysDup(Stream &s, void *buf)
+{
+    return s.read(buf, 16); // seeded defect: two args reach the park
+}
+
+void
+buildTable()
+{
+    install(sysno::ioctl, "ioctl", sysIoctl);
+    install(sysno::dup, "dup", sysDup);
+}
+)src"}},
+         {{"nonblocking-handler-parks", 1}}});
+
     // ---- may-park: ring consumer drain loop -------------------------
     cases.push_back(
         {"drain-loop-parks",

@@ -18,10 +18,19 @@ namespace genesys::core
 bool
 ServiceCore::mayBlockIndefinitely(int sysno)
 {
-    // recvfrom on an empty socket, read on an empty pipe, nanosleep,
-    // accept/connect on a stream, epoll_wait on idle sockets.
+    // recvfrom on an empty socket, read/readv/recvmsg on an empty
+    // pipe or stream, write/writev/sendto/sendmsg into a full pipe or
+    // send window, nanosleep, accept/connect on a stream, epoll_wait
+    // on idle sockets. This is the sysno-level superset; the backend
+    // narrows it per call with the fd-aware mayParkIndefinitely().
     return sysno == osk::sysno::recvfrom ||
            sysno == osk::sysno::read ||
+           sysno == osk::sysno::readv ||
+           sysno == osk::sysno::recvmsg ||
+           sysno == osk::sysno::write ||
+           sysno == osk::sysno::writev ||
+           sysno == osk::sysno::sendto ||
+           sysno == osk::sysno::sendmsg ||
            sysno == osk::sysno::nanosleep ||
            sysno == osk::sysno::accept ||
            sysno == osk::sysno::connect ||
@@ -105,9 +114,12 @@ ServiceCore::serviceSlot(SyscallSlot &slot, std::uint32_t servicer,
                             kernel_.params().syscallBase);
     }
     // Calls that can block indefinitely release the core — a blocked
-    // kernel thread schedules away — and re-acquire afterwards.
-    const bool may_block = policy.releaseCoreOnBlocking &&
-                           mayBlockIndefinitely(slot.sysno());
+    // kernel thread schedules away — and re-acquire afterwards. The
+    // decision is fd-aware: write to a regular file never parks, so
+    // the core is kept; write to a full pipe or stream window parks,
+    // so it is released (ROADMAP item 5, re-baselined goldens).
+    const bool may_block =
+        policy.releaseCoreOnBlocking && mayParkIndefinitely(slot);
     if (may_block)
         kernel_.cpus().releaseCore();
     const std::int64_t ret = co_await executeSlotCall(slot);

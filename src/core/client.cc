@@ -349,6 +349,13 @@ GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
         co_return co_await issueOnce(ctx, inv, sysno, args, item_slot);
 
     const bool transfer = osk::transferSyscall(sysno);
+    // MSG_DONTWAIT turns -EAGAIN into the call's normal "drained"
+    // return (the edge-triggered consumer's loop terminator), so the
+    // libc layer must surface it instead of burning backoff retries.
+    const bool dontwait =
+        (sysno == osk::sysno::recvmsg ||
+         sysno == osk::sysno::sendmsg) &&
+        (args.a[3] & osk::MSG_DONTWAIT_) != 0;
     const std::uint64_t want = transfer ? args.a[2] : 0;
     std::uint64_t done = 0;
     std::uint32_t restarts = 0;
@@ -362,7 +369,8 @@ GpuSyscalls::issueAndWait(gpu::WavefrontCtx &ctx, Invocation inv,
             ++retries_;
             continue;
         }
-        if (ret == -EAGAIN && congested < params_.eagainMaxRetries) {
+        if (ret == -EAGAIN && !dontwait &&
+            congested < params_.eagainMaxRetries) {
             co_await ctx.compute(params_.eagainBackoffCycles
                                  << congested);
             ++congested;
@@ -592,7 +600,13 @@ GpuSyscalls::invokeWorkItems(
                     next |= 1ull << lane;
                     return;
                 }
-                if (ret == -EAGAIN &&
+                // MSG_DONTWAIT lanes read -EAGAIN as "drained", the
+                // normal edge-triggered loop terminator: surface it.
+                const bool dontwait =
+                    (sysno == osk::sysno::recvmsg ||
+                     sysno == osk::sysno::sendmsg) &&
+                    (args[lane].a[3] & osk::MSG_DONTWAIT_) != 0;
+                if (ret == -EAGAIN && !dontwait &&
                     r.congested < params_.eagainMaxRetries) {
                     ++r.congested;
                     ++retries_;
@@ -636,6 +650,53 @@ GpuSyscalls::invokeWorkItems(
         }
         pending = next;
     }
+}
+
+sim::Task<>
+GpuSyscalls::invokeWorkItemsVectored(
+    gpu::WavefrontCtx &ctx, Invocation inv, int sysno,
+    std::function<std::optional<LaneVec>(std::uint32_t)> lane_vecs,
+    std::function<void(std::uint32_t, std::int64_t)> on_result)
+{
+    const std::uint32_t per_lane = area_.iovecEntriesPerLane();
+    osk::IoVec *win = area_.iovecWindow(ctx.hwWaveSlot());
+    const mem::Addr wbase = area_.iovecWindowAddr(ctx.hwWaveSlot());
+
+    // Stage every active lane's list into the wave's window. The
+    // window is statically owned by this wave, so the stores are
+    // plain writes; the slot publish below is their visibility point.
+    std::vector<std::optional<osk::SyscallArgs>> prepared(
+        ctx.laneCount());
+    std::uint64_t bytes_staged = 0;
+    for (std::uint32_t lane = 0; lane < ctx.laneCount(); ++lane) {
+        auto v = lane_vecs(lane);
+        if (!v)
+            continue;
+        GENESYS_ASSERT(v->cnt >= 0 &&
+                           static_cast<std::uint32_t>(v->cnt) <=
+                               per_lane,
+                       "lane %u stages %d iovecs (window holds %u)",
+                       lane, v->cnt, per_lane);
+        osk::IoVec *dst = win + std::size_t(lane) * per_lane;
+        for (int i = 0; i < v->cnt; ++i)
+            dst[i] = v->iov[i];
+        bytes_staged +=
+            std::uint64_t(v->cnt) * sizeof(osk::IoVec);
+        prepared[lane] =
+            osk::makeArgs(v->fd, dst, v->cnt, v->flags);
+    }
+    // One timed store per touched descriptor line (4 IoVecs/line).
+    const std::uint64_t lines =
+        (bytes_staged + params_.slotBytes - 1) / params_.slotBytes;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        co_await gpu_.accessLine(wbase + l * params_.slotBytes,
+                                 params_.perLanePopulate);
+    }
+
+    co_await invokeWorkItems(
+        ctx, inv, sysno,
+        [&prepared](std::uint32_t lane) { return prepared[lane]; },
+        std::move(on_result));
 }
 
 // --------------------------------------------------------- POSIX wrappers
@@ -818,6 +879,51 @@ GpuSyscalls::ioctl(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
     if (inv.granularity == Granularity::Kernel)
         return invokeKernel(ctx, inv, osk::sysno::ioctl, args);
     return invokeWorkGroup(ctx, inv, osk::sysno::ioctl, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::readv(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                   const osk::IoVec *iov, int cnt)
+{
+    const auto args = osk::makeArgs(fd, iov, cnt);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::readv, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::readv, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::writev(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                    const osk::IoVec *iov, int cnt)
+{
+    const auto args = osk::makeArgs(fd, iov, cnt);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::writev, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::writev, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::sendmsg(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                     const osk::IoVec *iov, int cnt,
+                     std::uint64_t flags)
+{
+    const auto args = osk::makeArgs(fd, iov, cnt, flags);
+    inv = withRole(inv, Role::Consumer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::sendmsg, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::sendmsg, args);
+}
+
+sim::Task<std::int64_t>
+GpuSyscalls::recvmsg(gpu::WavefrontCtx &ctx, Invocation inv, int fd,
+                     osk::IoVec *iov, int cnt, std::uint64_t flags)
+{
+    const auto args = osk::makeArgs(fd, iov, cnt, flags);
+    inv = withRole(inv, Role::Producer);
+    if (inv.granularity == Granularity::Kernel)
+        return invokeKernel(ctx, inv, osk::sysno::recvmsg, args);
+    return invokeWorkGroup(ctx, inv, osk::sysno::recvmsg, args);
 }
 
 sim::Task<std::int64_t>

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "osk/epoll.hh"
+#include "osk/net.hh"
 #include "osk/tcp.hh"
 #include "osk/vfs.hh"
 #include "support/gmc_probe.hh"
@@ -169,6 +170,8 @@ McConfig::name() const
                areaShards, workers, groups);
     if (useRings)
         base += format("-ring%u", ringEntries);
+    if (lostEdge)
+        base += "-etlost";
     return base;
 }
 
@@ -672,6 +675,270 @@ sim::gmc::RunOutcome
 replayNetConfig(const McConfig &mc, const sim::gmc::Schedule &schedule)
 {
     return sim::gmc::replay(netScenario(mc), schedule);
+}
+
+namespace
+{
+
+/** Cross-actor state for the edge-triggered echo scenario. */
+struct EtShared
+{
+    osk::SockAddr addr{1, 9201};
+    osk::EpollEvent listenEv{};
+    osk::EpollEvent connEv{};
+    osk::EpollEvent evs[4]{};
+    std::uint8_t srvBuf[16]{};
+    osk::IoVec rxIov[1]{};
+    /// Two 4-byte echoes land side by side.
+    std::uint8_t cliBuf[8]{};
+    std::int64_t results[10] = {kUnset, kUnset, kUnset, kUnset,
+                                kUnset, kUnset, kUnset, kUnset,
+                                kUnset, kUnset};
+    std::uint64_t echoed = 0;
+};
+
+/**
+ * GPU side: accept one connection, register it EPOLLIN|EPOLLET, and
+ * serve it with the strict-ET discipline — one epoll_wait per
+ * transition, each wake drained to -EAGAIN with recvmsg(MSG_DONTWAIT)
+ * before sleeping again (a byte left queued would keep the level high
+ * and suppress every later edge).
+ */
+sim::Task<>
+runEtServerWave(System &sys, const McConfig mc,
+                const std::shared_ptr<EtShared> es, int listen_fd,
+                gpu::WavefrontCtx &ctx)
+{
+    GpuSyscalls &api = sys.gpuSys();
+    Invocation inv;
+    inv.granularity = Granularity::WorkGroup;
+    inv.ordering = mc.ordering;
+    inv.blocking = Blocking::Blocking;
+    inv.waitMode = mc.wait;
+
+    const std::int64_t epfd = co_await api.epollCreate(ctx, inv);
+    es->results[0] = normalizeFd(epfd);
+    es->listenEv = osk::EpollEvent{
+        osk::EPOLLIN_, static_cast<std::uint64_t>(listen_fd)};
+    es->results[1] = co_await api.epollCtl(
+        ctx, inv, static_cast<int>(epfd), osk::EPOLL_CTL_ADD_,
+        listen_fd, &es->listenEv);
+    es->results[2] = co_await api.epollWait(
+        ctx, inv, static_cast<int>(epfd), es->evs, 4, -1);
+    const std::int64_t cfd =
+        co_await api.accept(ctx, inv, listen_fd, nullptr);
+    es->results[3] = normalizeFd(cfd);
+    co_await api.epollCtl(ctx, inv, static_cast<int>(epfd),
+                          osk::EPOLL_CTL_DEL_, listen_fd, nullptr);
+    es->connEv =
+        osk::EpollEvent{osk::EPOLLIN_ | osk::EPOLLET_,
+                        static_cast<std::uint64_t>(cfd)};
+    co_await api.epollCtl(ctx, inv, static_cast<int>(epfd),
+                          osk::EPOLL_CTL_ADD_, static_cast<int>(cfd),
+                          &es->connEv);
+    bool open = true;
+    while (open) {
+        const std::int64_t n = co_await api.epollWait(
+            ctx, inv, static_cast<int>(epfd), es->evs, 4, -1);
+        if (n <= 0)
+            break;
+        for (;;) {
+            es->rxIov[0] = osk::IoVec{
+                osk::SyscallArgs::fromPtr(&es->srvBuf[0]),
+                sizeof(es->srvBuf)};
+            const std::int64_t rn = co_await api.recvmsg(
+                ctx, inv, static_cast<int>(cfd), es->rxIov, 1,
+                osk::MSG_DONTWAIT_);
+            if (rn == -EAGAIN)
+                break; // drained: safe to sleep on the next edge
+            if (rn <= 0) {
+                open = false; // EOF: the client half-closed
+                break;
+            }
+            es->echoed += static_cast<std::uint64_t>(rn);
+            co_await api.write(ctx, inv, static_cast<int>(cfd),
+                               es->srvBuf,
+                               static_cast<std::uint64_t>(rn));
+        }
+    }
+    co_await api.close(ctx, inv, static_cast<int>(cfd));
+    co_await api.close(ctx, inv, static_cast<int>(epfd));
+    co_await api.close(ctx, inv, listen_fd);
+}
+
+/**
+ * Host side: two ping/echo rounds, then half-close. Waiting for each
+ * echo before the next ping lets the server drain the chain to empty
+ * in between, so the second ping is a second genuine readiness edge
+ * (strict ET records nothing while data is still queued) and the FIN
+ * a third.
+ */
+sim::Task<>
+runEtClient(System &sys, const std::shared_ptr<EtShared> es)
+{
+    auto &tcp = sys.kernel().tcp();
+    osk::TcpSocket *c = tcp.createSocket();
+    const int cid = c->id();
+    es->results[4] = co_await c->connect(es->addr);
+    if (es->results[4] != 0) {
+        tcp.closeSocket(cid);
+        co_return;
+    }
+    static const char *const kPings[2] = {"ping", "pong"};
+    for (int round = 0; round < 2; ++round) {
+        es->results[5 + round * 2] =
+            co_await c->write(kPings[round], 4);
+        std::uint64_t got = 0;
+        while (got < 4) {
+            const std::int64_t rn = co_await c->read(
+                es->cliBuf + 4 * round + got, 4 - got);
+            if (rn <= 0)
+                break;
+            got += static_cast<std::uint64_t>(rn);
+        }
+        es->results[6 + round * 2] = static_cast<std::int64_t>(got);
+    }
+    co_await c->shutdown(osk::SHUT_WR_);
+    std::uint8_t tail = 0;
+    es->results[9] = co_await c->read(&tail, 1); // server FIN: EOF
+    tcp.closeSocket(cid);
+}
+
+} // namespace
+
+sim::gmc::RunFn
+etNetScenario(const McConfig &mc)
+{
+    return [mc](sim::gmc::ScheduleDriver &driver)
+               -> sim::gmc::RunOutcome {
+        sim::gmc::RunOutcome out;
+        System sys(collapsedConfig(mc));
+        auto es = std::make_shared<EtShared>();
+        sys.gsan().setEnabled(true);
+        if (mc.lostEdge)
+            sys.kernel().epoll().setTestLostEdge(true);
+
+        // Listener bound under FIFO order before the tie-breaker is
+        // installed (see netScenario).
+        std::int64_t listen_fd = -1;
+        sys.sim().spawn([](System &s, const std::shared_ptr<EtShared> sh,
+                           std::int64_t &fd_out) -> sim::Task<> {
+            fd_out = co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::socket, osk::makeArgs(2, 1, 0));
+            co_await s.kernel().doSyscall(
+                s.process(), osk::sysno::bind,
+                osk::makeArgs(fd_out, &sh->addr, 8));
+            co_await s.kernel().doSyscall(s.process(),
+                                          osk::sysno::listen,
+                                          osk::makeArgs(fd_out, 4));
+        }(sys, es, listen_fd));
+        sys.run();
+
+        sys.sim().events().setTieBreaker(&driver);
+        const std::size_t idleTasks = sys.sim().liveTasks();
+
+        const std::uint32_t waveSize = sys.config().gpu.wavefrontSize;
+        gpu::KernelLaunch launch;
+        launch.workItems = waveSize;
+        launch.wgSize = waveSize;
+        const int lfd = static_cast<int>(listen_fd);
+        launch.program = [&sys, mc, es,
+                          lfd](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+            return runEtServerWave(sys, mc, es, lfd, ctx);
+        };
+        sys.launchGpuAndDrain(std::move(launch));
+        sys.sim().spawn(runEtClient(sys, es));
+
+        auto &probe = genesys::gmc::Probe::instance();
+        probe.setEnabled(true);
+        (void)probe.drain(); // discard pre-run (deterministic) touches
+
+        bool panicked = false;
+        std::string what;
+        try {
+            sys.run(kHorizon, kMaxEventsPerRun);
+        } catch (const std::exception &e) {
+            panicked = true;
+            what = e.what();
+        }
+        probe.setEnabled(false);
+        sys.sim().events().setTieBreaker(nullptr);
+
+        out.endTick = sys.sim().now();
+        out.events = sys.sim().events().executedEvents();
+
+        if (panicked) {
+            out.violation = true;
+            out.kind = "panic";
+            out.detail = what;
+            return out;
+        }
+        if (!sys.sim().events().empty()) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "ET net run exceeded its budget (%llu events, tick "
+                "%llu): livelock or starvation",
+                static_cast<unsigned long long>(out.events),
+                static_cast<unsigned long long>(out.endTick));
+            return out;
+        }
+        if (sys.sim().liveTasks() > idleTasks) {
+            out.violation = true;
+            out.kind = "stuck";
+            out.detail = format(
+                "%zu task(s) beyond the %zu idle service loops still "
+                "suspended with a drained event queue: lost readiness "
+                "edge or deadlock",
+                sys.sim().liveTasks() - idleTasks, idleTasks);
+            return out;
+        }
+        if (sys.gsan().reportCount() != 0) {
+            out.violation = true;
+            out.kind = "gsan";
+            out.detail = sys.gsan().renderReports();
+            return out;
+        }
+        for (std::uint32_t s = 0; s < sys.syscallArea().shardCount();
+             ++s) {
+            if (!sys.syscallArea().quiescent(s)) {
+                out.violation = true;
+                out.kind = "quiescence";
+                out.detail = format(
+                    "shard %u has non-Free slots after drain", s);
+                return out;
+            }
+        }
+
+        // Edge counts can legally vary across schedules (a ping split
+        // across wire deliveries yields an extra drained-then-risen
+        // transition), so the digest keeps only the schedule-invariant
+        // outcome: every rc, both echoes, and the rendezvous counts.
+        Fnv1a digest;
+        for (std::int64_t r : es->results)
+            digest.mix(static_cast<std::uint64_t>(r));
+        for (std::uint64_t i = 0; i < 8; ++i)
+            digest.mix(es->cliBuf[i]);
+        digest.mix(es->echoed);
+        digest.mix(sys.kernel().tcp().counters().connects);
+        digest.mix(sys.kernel().tcp().counters().accepts);
+        out.digest = digest.value();
+        return out;
+    };
+}
+
+sim::gmc::ExploreResult
+exploreEtNetConfig(const McConfig &mc,
+                   const sim::gmc::ExploreOptions &opts)
+{
+    return sim::gmc::explore(etNetScenario(mc), opts);
+}
+
+sim::gmc::RunOutcome
+replayEtNetConfig(const McConfig &mc,
+                  const sim::gmc::Schedule &schedule)
+{
+    return sim::gmc::replay(etNetScenario(mc), schedule);
 }
 
 sim::gmc::ExploreResult

@@ -62,9 +62,16 @@ struct McConfig
     std::uint32_t ringEntries = 1;
     /// Seeded protocol mutants (all off = the shipped protocol).
     GenesysParams::GsanTestHooks hooks{};
+    /// Seeded epoll mutant (EpollSystem::setTestLostEdge): the first
+    /// readiness transition is observed but never latched as pending.
+    /// Only meaningful for scenarios with edge-triggered interests
+    /// (etNetScenario) — level-triggered waiters re-probe and never
+    /// notice.
+    bool lostEdge = false;
 
     /** Stable identifier, e.g. "wg-strong-block-poll-1x1g1"
-     *  ("-ring<E>" appended in ring mode). */
+     *  ("-ring<E>" appended in ring mode, "-etlost" with the seeded
+     *  lost-edge mutant). */
     std::string name() const;
 };
 
@@ -116,6 +123,31 @@ exploreNetConfig(const McConfig &mc,
 /** Re-execute one schedule of this config's netScenario. */
 sim::gmc::RunOutcome replayNetConfig(const McConfig &mc,
                                      const sim::gmc::Schedule &schedule);
+
+/**
+ * Edge-triggered gnet scenario: like netScenario, but the accepted
+ * connection is registered EPOLLIN|EPOLLET and the server drains it
+ * to -EAGAIN with recvmsg(MSG_DONTWAIT) — the serving-path idiom gkv
+ * uses. The client pings twice with an echo read in between, so the
+ * level drops to zero between pings and the server must see two
+ * distinct readiness edges (plus a third for the client's FIN). With
+ * mc.lostEdge the EpollSystem drops the first recorded edge on the
+ * floor; under the strict-ET contract no later send can re-derive it
+ * (data arriving on a non-empty chain is not a transition), so the
+ * server sleeps in epoll_wait forever and every schedule — including
+ * FIFO — reports "stuck" with a replayable counterexample.
+ */
+sim::gmc::RunFn etNetScenario(const McConfig &mc);
+
+/** explore() over this config's etNetScenario. */
+sim::gmc::ExploreResult
+exploreEtNetConfig(const McConfig &mc,
+                   const sim::gmc::ExploreOptions &opts);
+
+/** Re-execute one schedule of this config's etNetScenario. */
+sim::gmc::RunOutcome
+replayEtNetConfig(const McConfig &mc,
+                  const sim::gmc::Schedule &schedule);
 
 /**
  * Ring-protocol scenario (DESIGN.md §13): scenario() with the SQ/CQ

@@ -203,6 +203,13 @@ System::installNetSysfs()
        [tcp] { return tcp->counters().refused; });
     ro("/sys/genesys/net/tcp/resets",
        [tcp] { return tcp->counters().resets; });
+    // The zero-copy ledger: a serving path proves it never copied on
+    // its hot path by showing copied_bytes stayed flat while
+    // zerocopy_bytes carried the traffic.
+    ro("/sys/genesys/net/tcp/copied_bytes",
+       [tcp] { return tcp->counters().copiedBytes; });
+    ro("/sys/genesys/net/tcp/zerocopy_bytes",
+       [tcp] { return tcp->counters().zerocopyBytes; });
 
     // The loss-rate knob is writable (tests and the ablation sweep set
     // it from simulated code, mirroring the fault-injection knobs).
@@ -224,6 +231,10 @@ System::installNetSysfs()
        [ep] { return ep->notifies(); });
     ro("/sys/genesys/net/epoll/timeouts",
        [ep] { return ep->timeouts(); });
+    ro("/sys/genesys/net/epoll/edges_recorded",
+       [ep] { return ep->edgesRecorded(); });
+    ro("/sys/genesys/net/epoll/edges_delivered",
+       [ep] { return ep->edgesDelivered(); });
     std::shared_ptr<std::vector<std::uint64_t>> wakes = epollShardWakes_;
     for (std::uint32_t s = 0; s < area_->shardCount(); ++s) {
         ro(logging::format("/sys/genesys/net/epoll/shards/%u/wakeups",
@@ -377,6 +388,11 @@ System::statsReport() const
              kernel_->tcp().counters().backpressureStalls));
     line("net.tcp_resets",
          static_cast<double>(kernel_->tcp().counters().resets));
+    line("net.tcp_copied_bytes",
+         static_cast<double>(kernel_->tcp().counters().copiedBytes));
+    line("net.tcp_zerocopy_bytes",
+         static_cast<double>(
+             kernel_->tcp().counters().zerocopyBytes));
     line("net.epoll_waits",
          static_cast<double>(kernel_->epoll().waits()));
     line("net.epoll_wakeups",

@@ -26,15 +26,40 @@ EpollInstance::ctl(int op, int fd, SockKind kind, int sock_id,
       case EPOLL_CTL_ADD_: {
         if (interests_.contains(fd))
             return -EEXIST;
-        interests_[fd] = Interest{kind, sock_id, mask, data};
+        Interest in{kind, sock_id, mask, data};
+        bool wake = false;
+        if (in.edgeMode()) {
+            // Registration probes once: an already-ready condition is
+            // the initial edge, so a consumer that registers after
+            // data arrived still sees it.
+            in.lastReady = sys_.probe(kind, sock_id) & in.condMask();
+            if (in.lastReady != 0)
+                wake = recordEdge(in, in.lastReady);
+        }
+        interests_[fd] = in;
+        if (wake)
+            wait_q_->notifyAll();
         return 0;
       }
       case EPOLL_CTL_MOD_: {
         auto it = interests_.find(fd);
         if (it == interests_.end())
             return -ENOENT;
-        it->second.mask = mask;
-        it->second.data = data;
+        Interest &in = it->second;
+        in.mask = mask;
+        in.data = data;
+        in.armed = true;
+        in.pending = 0;
+        in.lastReady = 0;
+        if (in.edgeMode()) {
+            // Re-arm replays the current level as a fresh edge: a
+            // ONESHOT consumer that drained and re-armed must not
+            // miss bytes that arrived while it was disarmed.
+            in.lastReady = sys_.probe(in.kind, in.sockId) &
+                           in.condMask();
+            if (in.lastReady != 0 && recordEdge(in, in.lastReady))
+                wait_q_->notifyAll();
+        }
         return 0;
       }
       case EPOLL_CTL_DEL_: {
@@ -46,24 +71,91 @@ EpollInstance::ctl(int op, int fd, SockKind kind, int sock_id,
 }
 
 int
-EpollInstance::collectReady(EpollEvent *events, int max_events) const
+EpollInstance::collectReady(EpollEvent *events, int max_events)
 {
     int n = 0;
-    for (const auto &[fd, interest] : interests_) {
-        // EPOLLERR/EPOLLHUP are always reported, as in Linux.
-        const std::uint32_t ready =
-            sys_.probe(interest.kind, interest.sockId) &
-            (interest.mask | EPOLLERR_ | EPOLLHUP_);
+    for (auto &[fd, interest] : interests_) {
+        std::uint32_t ready;
+        if (interest.edgeMode()) {
+            if (!interest.armed)
+                continue;
+            // Replay recorded edges; no live re-probe in edge mode.
+            ready = interest.pending;
+        } else {
+            // EPOLLERR/EPOLLHUP are always reported, as in Linux.
+            ready = sys_.probe(interest.kind, interest.sockId) &
+                    interest.condMask();
+        }
         if (ready == 0)
             continue;
         if (events != nullptr && n < max_events) {
             events[n].events = ready;
             events[n].data = interest.data;
+            if (interest.edgeMode()) {
+                // Delivered exactly once; silent until the level
+                // drops and rises again (or EPOLL_CTL_MOD re-arms).
+                interest.pending = 0;
+                ++sys_.edgesDelivered_;
+                if (sys_.gsan_ != nullptr)
+                    sys_.gsan_->epollEdgeDeliver(gsanKey());
+                if ((interest.mask & EPOLLONESHOT_) != 0)
+                    interest.armed = false;
+            }
         }
         if (++n >= max_events)
             break;
     }
     return n;
+}
+
+bool
+EpollInstance::recordEdge(Interest &in, std::uint32_t edges)
+{
+    if (sys_.gsan_ != nullptr)
+        sys_.gsan_->epollEdgeSeen(gsanKey());
+    if (sys_.test_lost_edge_ && !sys_.lost_edge_fired_) {
+        // Seeded bug (gmc mutant): the transition is observed but
+        // never latched — the probe state has already advanced, so no
+        // later noteEvent re-derives it and the consumer sleeps
+        // forever. gsan's edge channel sees the probe without the
+        // matching record.
+        sys_.lost_edge_fired_ = true;
+        return false;
+    }
+    in.pending |= edges;
+    ++sys_.edgesRecorded_;
+    if (sys_.gsan_ != nullptr)
+        sys_.gsan_->epollEdgeRecord(gsanKey());
+    return in.armed;
+}
+
+bool
+EpollInstance::noteEdges(SockKind kind, int sock_id)
+{
+    bool wake = false;
+    for (auto &[fd, in] : interests_) {
+        if (in.kind != kind || in.sockId != sock_id || !in.edgeMode())
+            continue;
+        const std::uint32_t now =
+            sys_.probe(kind, sock_id) & in.condMask();
+        const std::uint32_t edges = now & ~in.lastReady;
+        in.lastReady = now;
+        if (edges == 0)
+            continue;
+        if (recordEdge(in, edges))
+            wake = true;
+    }
+    return wake;
+}
+
+bool
+EpollInstance::hasLtInterest(SockKind kind, int sock_id) const
+{
+    for (const auto &[fd, in] : interests_) {
+        if (in.kind == kind && in.sockId == sock_id && !in.edgeMode())
+            return true;
+    }
+    return false;
 }
 
 sim::Task<std::int64_t>
@@ -199,7 +291,15 @@ EpollSystem::noteEvent(SockKind kind, int sock_id)
             continue;
         if (gsan_ != nullptr)
             gsan_->epollNotify(inst->gsanKey());
+        // Edges are latched whether or not anyone is waiting — that
+        // is the point of edge mode: the transition is recorded now
+        // and replayed to whichever waiter arrives next.
+        const bool fresh_edge = inst->noteEdges(kind, sock_id);
         if (inst->wait_q_->waiting() == 0)
+            continue;
+        // LT waiters re-probe on every change; ET-only waiters need
+        // a wake only when a fresh edge was latched.
+        if (!fresh_edge && !inst->hasLtInterest(kind, sock_id))
             continue;
         ++wakeups_;
         if (wake_observer_) {

@@ -2,14 +2,26 @@
  * @file
  * epoll-style readiness multiplexing (gnet).
  *
- * Level-triggered: epoll_wait reports every registered fd whose
- * readiness condition *currently* holds, re-probing the underlying
- * socket each time rather than replaying edge events. The wait path is
- * a plain blocking syscall handler, so a GPU work-group that invokes
- * epoll_wait through a syscall slot halts in waitSlots() and is
- * resumed by the normal doorbell/interrupt-coalescing machinery once
- * the handler returns — readiness integrates with halt/resume for
+ * Level-triggered by default: epoll_wait reports every registered fd
+ * whose readiness condition *currently* holds, re-probing the
+ * underlying socket each time rather than replaying edge events. The
+ * wait path is a plain blocking syscall handler, so a GPU work-group
+ * that invokes epoll_wait through a syscall slot halts in waitSlots()
+ * and is resumed by the normal doorbell/interrupt-coalescing machinery
+ * once the handler returns — readiness integrates with halt/resume for
  * free, under both service backends.
+ *
+ * Edge-triggered (EPOLLET): readiness is delivered once per 0→1
+ * transition of each condition bit. noteEvent() computes the edge set
+ * (newly-ready bits relative to the last probe), records it on the
+ * interest, and epoll_wait replays each recorded edge exactly once —
+ * a waiter that arrives after the transition still sees it (replayed-
+ * edge semantics), but a consumer that fails to drain to EAGAIN sees
+ * nothing further until the level drops and rises again. EPOLLONESHOT
+ * disarms the interest after one delivery; EPOLL_CTL_MOD re-arms it
+ * and replays the current level as a fresh edge. Interests without
+ * either mode bit take exactly the level-triggered code path above,
+ * bit-for-bit.
  *
  * The check-then-sleep window in the wait loop is the classic lost-
  * wakeup shape; the gsan epollCheck/epollSleep/epollNotify hooks track
@@ -51,6 +63,12 @@ inline constexpr std::uint32_t EPOLLIN_ = 0x1;
 inline constexpr std::uint32_t EPOLLOUT_ = 0x4;
 inline constexpr std::uint32_t EPOLLERR_ = 0x8;
 inline constexpr std::uint32_t EPOLLHUP_ = 0x10;
+inline constexpr std::uint32_t EPOLLONESHOT_ = 0x40000000u;
+inline constexpr std::uint32_t EPOLLET_ = 0x80000000u;
+
+/** Mode bits (not readiness conditions) masked out of probes. */
+inline constexpr std::uint32_t kEpollModeBits =
+    EPOLLET_ | EPOLLONESHOT_;
 
 /** Waiter cookie used by CPU-side epoll_wait callers (no wave slot). */
 inline constexpr std::uint64_t kEpollHostWaiter = ~0ull;
@@ -120,9 +138,40 @@ class EpollInstance
         int sockId = -1;
         std::uint32_t mask = 0;
         std::uint64_t data = 0;
+        // Edge-triggered state (unused — all zero — for pure-LT
+        // interests, which never touch these fields).
+        std::uint32_t lastReady = 0; ///< readiness at the last probe.
+        std::uint32_t pending = 0;   ///< recorded, undelivered edges.
+        bool armed = true;           ///< false after ONESHOT delivery.
+
+        bool edgeMode() const
+        {
+            return (mask & kEpollModeBits) != 0;
+        }
+        /** Condition bits this interest reports (ERR/HUP always). */
+        std::uint32_t condMask() const
+        {
+            return (mask & ~kEpollModeBits) | EPOLLERR_ | EPOLLHUP_;
+        }
     };
 
-    int collectReady(EpollEvent *events, int max_events) const;
+    int collectReady(EpollEvent *events, int max_events);
+
+    /**
+     * Record readiness edges for edge-mode interests watching
+     * @p kind/@p sock_id. @return true when a fresh pending edge
+     * appeared on an armed interest (the waiters need a wake).
+     */
+    bool noteEdges(SockKind kind, int sock_id);
+
+    /**
+     * Latch @p edges as pending on @p in (unless the seeded lost-edge
+     * mutant eats it). @return true when waiters should be woken.
+     */
+    bool recordEdge(Interest &in, std::uint32_t edges);
+
+    /** True if a level-triggered interest watches @p kind/@p sock_id. */
+    bool hasLtInterest(SockKind kind, int sock_id) const;
 
     /** gsan readiness-channel key (instance id). */
     std::uint64_t gsanKey() const
@@ -183,6 +232,21 @@ class EpollSystem
     std::uint64_t wakeups() const { return wakeups_; }
     std::uint64_t notifies() const { return notifies_; }
     std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t edgesRecorded() const { return edgesRecorded_; }
+    std::uint64_t edgesDelivered() const { return edgesDelivered_; }
+
+    /**
+     * Test hook (gmc mutant): drop the next readiness edge on the
+     * floor — the probe state advances but no pending bit is recorded,
+     * so an edge-triggered consumer that relies on replayed edges
+     * sleeps forever. gsan's edge channel sees the probe without the
+     * record and reports the loss.
+     */
+    void setTestLostEdge(bool v)
+    {
+        test_lost_edge_ = v;
+        lost_edge_fired_ = false;
+    }
 
   private:
     friend class EpollInstance;
@@ -204,6 +268,10 @@ class EpollSystem
     std::uint64_t wakeups_ = 0;
     std::uint64_t notifies_ = 0;
     std::uint64_t timeouts_ = 0;
+    std::uint64_t edgesRecorded_ = 0;
+    std::uint64_t edgesDelivered_ = 0;
+    bool test_lost_edge_ = false;
+    bool lost_edge_fired_ = false;
 };
 
 } // namespace genesys::osk

@@ -52,6 +52,15 @@ struct OpenFile
     int tcpId = -1;
     /** Epoll instance index when this fd is an epoll fd (-1 if not). */
     int epollId = -1;
+    /**
+     * Zero-copy loan generation: wire-segment buffers handed to the
+     * caller by the last recvmsg(MSG_ZEROCOPY) on this description.
+     * The refs keep the segments alive while the caller parses them
+     * in place; the next MSG_ZEROCOPY recvmsg (or close) retires the
+     * generation. One generation per description is the whole
+     * contract — callers that need two batches live at once must copy.
+     */
+    std::vector<std::shared_ptr<std::vector<std::uint8_t>>> loanedSegs;
 
     bool readable() const
     {

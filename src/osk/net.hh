@@ -29,6 +29,27 @@
 namespace genesys::osk
 {
 
+/**
+ * Scatter/gather element; mirrors struct iovec (base, len). Lives at
+ * the bottom of the osk stack because every layer speaks it: the
+ * syscall ABI (readv/writev/sendmsg/recvmsg take an IoVec array), the
+ * stream sockets (gather transmit, scatter receive), and the GPU
+ * client's vectored submission window (core/client.hh), whose
+ * per-shard descriptor pages are arrays of exactly this struct.
+ */
+struct IoVec
+{
+    std::uint64_t base = 0; ///< pointer value (SyscallArgs::fromPtr).
+    std::uint64_t len = 0;
+
+    void *
+    asPtr() const
+    {
+        return reinterpret_cast<void *>(
+            static_cast<std::uintptr_t>(base));
+    }
+};
+
 /** (address, port) endpoint; address is an opaque host id. */
 struct SockAddr
 {

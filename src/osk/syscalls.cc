@@ -231,11 +231,10 @@ sysRead(Kernel &k, Process &p, const SyscallArgs &args)
     return doRead(k, p, args.as<int>(0), args.ptr<void>(1), args.a[2], -1);
 }
 
-// Known classification gap: write() to a full pipe or TCP send buffer
-// parks the service core indefinitely, yet `write` is not in
-// mayBlockIndefinitely (the slot-mode timing-parity goldens pin the
-// current classification; fd-aware blocking is a ROADMAP item).
-// gstat: allow(nonblocking-handler-parks)
+// write() to a full pipe or TCP send buffer parks the service core
+// indefinitely; `write` is in mayBlockIndefinitely and the backend
+// consults the fd type (ServiceCore::mayParkIndefinitely) to decide
+// whether this particular call can actually park.
 sim::Task<std::int64_t>
 sysWrite(Kernel &k, Process &p, const SyscallArgs &args)
 {
@@ -243,24 +242,24 @@ sysWrite(Kernel &k, Process &p, const SyscallArgs &args)
                    args.a[2], -1);
 }
 
-// False positive (flow-insensitive): offset >= 0 hits doRead's ESPIPE
-// guard before any stream path, so pread can never reach the park.
-// gstat: allow(nonblocking-handler-parks)
 sim::Task<std::int64_t>
 sysPread(Kernel &k, Process &p, const SyscallArgs &args)
 {
-    return doRead(k, p, args.as<int>(0), args.ptr<void>(1), args.a[2],
-                  args.as<std::int64_t>(3));
+    const auto off = args.as<std::int64_t>(3);
+    if (off < 0)
+        co_return -EINVAL; // Linux rejects negative offsets up front
+    co_return co_await doRead(k, p, args.as<int>(0), args.ptr<void>(1),
+                              args.a[2], off);
 }
 
-// False positive (flow-insensitive): offset >= 0 hits doWrite's ESPIPE
-// guard before any stream path, so pwrite can never reach the park.
-// gstat: allow(nonblocking-handler-parks)
 sim::Task<std::int64_t>
 sysPwrite(Kernel &k, Process &p, const SyscallArgs &args)
 {
-    return doWrite(k, p, args.as<int>(0), args.ptr<const void>(1),
-                   args.a[2], args.as<std::int64_t>(3));
+    const auto off = args.as<std::int64_t>(3);
+    if (off < 0)
+        co_return -EINVAL; // Linux rejects negative offsets up front
+    co_return co_await doWrite(k, p, args.as<int>(0),
+                               args.ptr<const void>(1), args.a[2], off);
 }
 
 sim::Task<std::int64_t>
@@ -536,10 +535,10 @@ sysEpollWait(Kernel &k, Process &p, const SyscallArgs &args)
                                   waiter);
 }
 
-// Known classification gap: sendto on a connected stream falls through
-// to TcpSocket::write, which parks when the send buffer is full (see
-// the sysWrite note above; same timing-parity constraint applies).
-// gstat: allow(nonblocking-handler-parks)
+// sendto on a connected stream falls through to TcpSocket::write,
+// which parks when the send buffer is full; `sendto` is classified
+// blocking and the backend's fd-aware check scopes the park to
+// socket/pipe fds.
 sim::Task<std::int64_t>
 sysSendto(Kernel &k, Process &p, const SyscallArgs &args)
 {
@@ -597,6 +596,161 @@ sysRecvfrom(Kernel &k, Process &p, const SyscallArgs &args)
     if (src != nullptr)
         *src = dgram.from;
     co_return static_cast<std::int64_t>(dgram.payload.size());
+}
+
+/**
+ * Vectored I/O family. The msghdr of the real ABI is collapsed to the
+ * only part the data path needs — the iovec array — so the register
+ * block is (fd, iov*, iovcnt[, flags]). sendmsg/recvmsg add the flag
+ * word; recvmsg(MSG_ZEROCOPY) is the loaned-segment protocol that
+ * makes the gkv hot path copy-free (see OpenFile::loanedSegs).
+ */
+sim::Task<std::int64_t>
+sysReadv(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const auto *iov = args.ptr<const IoVec>(1);
+    const int cnt = args.as<int>(2);
+    if (iov == nullptr)
+        co_return -EFAULT;
+    if (cnt < 0)
+        co_return -EINVAL;
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || !file->readable())
+        co_return -EBADF;
+    if (file->tcpId >= 0) {
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpRecvBase);
+        co_return co_await sock->readv(iov, cnt);
+    }
+    // Non-stream fds: sequential per-iovec reads; a short read stops
+    // the scan, matching POSIX readv semantics.
+    std::int64_t total = 0;
+    for (int i = 0; i < cnt; ++i) {
+        if (iov[i].len == 0)
+            continue;
+        const auto n =
+            co_await doRead(k, p, fd, iov[i].asPtr(), iov[i].len, -1);
+        if (n < 0)
+            co_return total > 0 ? total : n;
+        total += n;
+        if (static_cast<std::uint64_t>(n) < iov[i].len)
+            break;
+    }
+    co_return total;
+}
+
+sim::Task<std::int64_t>
+sysWritev(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const auto *iov = args.ptr<const IoVec>(1);
+    const int cnt = args.as<int>(2);
+    if (iov == nullptr)
+        co_return -EFAULT;
+    if (cnt < 0)
+        co_return -EINVAL;
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr || !file->writable())
+        co_return -EBADF;
+    if (file->tcpId >= 0) {
+        TcpSocket *sock = k.tcp().socket(file->tcpId);
+        if (sock == nullptr)
+            co_return -EBADF;
+        co_await sim::Delay(k.sim().events(), k.params().tcpSendBase);
+        co_return co_await sock->writev(iov, cnt);
+    }
+    std::int64_t total = 0;
+    for (int i = 0; i < cnt; ++i) {
+        if (iov[i].len == 0)
+            continue;
+        const auto n =
+            co_await doWrite(k, p, fd, iov[i].asPtr(), iov[i].len, -1);
+        if (n < 0)
+            co_return total > 0 ? total : n;
+        total += n;
+        if (static_cast<std::uint64_t>(n) < iov[i].len)
+            break;
+    }
+    co_return total;
+}
+
+sim::Task<std::int64_t>
+sysSendmsg(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    const auto *iov = args.ptr<const IoVec>(1);
+    const int cnt = args.as<int>(2);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr)
+        co_return -EBADF;
+    if (file->tcpId < 0)
+        co_return -EOPNOTSUPP; // datagram msghdr routing not modeled
+    if (iov == nullptr)
+        co_return -EFAULT;
+    if (cnt < 0)
+        co_return -EINVAL;
+    TcpSocket *sock = k.tcp().socket(file->tcpId);
+    if (sock == nullptr)
+        co_return -EBADF;
+    co_await sim::Delay(k.sim().events(), k.params().tcpSendBase);
+    co_return co_await sock->writev(iov, cnt);
+}
+
+sim::Task<std::int64_t>
+sysRecvmsg(Kernel &k, Process &p, const SyscallArgs &args)
+{
+    const int fd = args.as<int>(0);
+    auto *iov = args.ptr<IoVec>(1);
+    const int cnt = args.as<int>(2);
+    const int flags = args.as<int>(3);
+    OpenFile *file = p.fds().get(fd);
+    if (file == nullptr)
+        co_return -EBADF;
+    if (file->tcpId < 0)
+        co_return -EOPNOTSUPP;
+    if (iov == nullptr)
+        co_return -EFAULT;
+    if (cnt <= 0)
+        co_return -EINVAL;
+    TcpSocket *sock = k.tcp().socket(file->tcpId);
+    if (sock == nullptr)
+        co_return -EBADF;
+    co_await sim::Delay(k.sim().events(), k.params().tcpRecvBase);
+    const bool nonblock = (flags & MSG_DONTWAIT_) != 0;
+    if ((flags & MSG_ZEROCOPY_) == 0) {
+        // Scatter copy-out. The DONTWAIT probe is race-free here: the
+        // sim is cooperatively scheduled, so nothing drains the chain
+        // between the probe and readv's no-wait fast path.
+        if (nonblock && sock->rxQueued() == 0 && !sock->eofPending() &&
+            !sock->errorPending())
+            co_return -EAGAIN;
+        co_return co_await sock->readv(iov, cnt);
+    }
+    // Zero-copy: retire the previous loan generation on this fd (the
+    // caller is done parsing those segments), then hand out whole
+    // segments — each iovec entry is rewritten to point INTO the
+    // refcounted segment buffer, which loanedSegs keeps alive until
+    // the next MSG_ZEROCOPY recvmsg or close.
+    file->loanedSegs.clear();
+    std::vector<NetSeg> segs(static_cast<std::size_t>(cnt));
+    const auto got =
+        co_await sock->readSegments(segs.data(), cnt, nonblock);
+    if (got <= 0)
+        co_return got;
+    std::int64_t total = 0;
+    for (std::int64_t i = 0; i < got; ++i) {
+        auto &seg = segs[static_cast<std::size_t>(i)];
+        iov[i].base = SyscallArgs::fromPtr(seg.bytes());
+        iov[i].len = seg.len;
+        total += seg.len;
+        file->loanedSegs.push_back(std::move(seg.data));
+    }
+    for (int i = static_cast<int>(got); i < cnt; ++i)
+        iov[i] = IoVec{};
+    co_return total;
 }
 
 sim::Task<std::int64_t>
@@ -780,12 +934,16 @@ SyscallTable::SyscallTable()
     install(sysno::ioctl, "ioctl", sysIoctl);
     install(sysno::pread64, "pread64", sysPread);
     install(sysno::pwrite64, "pwrite64", sysPwrite);
+    install(sysno::readv, "readv", sysReadv);
+    install(sysno::writev, "writev", sysWritev);
     install(sysno::madvise, "madvise", sysMadvise);
     install(sysno::socket, "socket", sysSocket);
     install(sysno::connect, "connect", sysConnect);
     install(sysno::accept, "accept", sysAccept);
     install(sysno::sendto, "sendto", sysSendto);
     install(sysno::recvfrom, "recvfrom", sysRecvfrom);
+    install(sysno::sendmsg, "sendmsg", sysSendmsg);
+    install(sysno::recvmsg, "recvmsg", sysRecvmsg);
     install(sysno::shutdown, "shutdown", sysShutdown);
     install(sysno::bind, "bind", sysBind);
     install(sysno::listen, "listen", sysListen);

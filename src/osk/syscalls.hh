@@ -45,6 +45,8 @@ inline constexpr int munmap = 11;
 inline constexpr int ioctl = 16;
 inline constexpr int pread64 = 17;
 inline constexpr int pwrite64 = 18;
+inline constexpr int readv = 19;
+inline constexpr int writev = 20;
 inline constexpr int pipe = 22;
 inline constexpr int madvise = 28;
 inline constexpr int dup = 32;
@@ -56,6 +58,8 @@ inline constexpr int connect = 42;
 inline constexpr int accept = 43;
 inline constexpr int sendto = 44;
 inline constexpr int recvfrom = 45;
+inline constexpr int sendmsg = 46;
+inline constexpr int recvmsg = 47;
 inline constexpr int shutdown = 48;
 inline constexpr int bind = 49;
 inline constexpr int listen = 50;

@@ -166,13 +166,11 @@ TcpSocket::tryAccept(int &out_id)
 }
 
 sim::Task<std::int64_t>
-TcpSocket::read(void *buf, std::uint64_t max_len)
+TcpSocket::awaitReadable(bool nonblock)
 {
-    if (max_len == 0)
-        co_return 0;
     for (;;) {
         if (!rx_.empty())
-            break;
+            co_return 1;
         if (error_ != 0)
             co_return -error_;
         if (fin_rcvd_)
@@ -182,28 +180,112 @@ TcpSocket::read(void *buf, std::uint64_t max_len)
         if (tcpState_ == TcpState::Closed ||
             tcpState_ == TcpState::SynSent)
             co_return -ENOTCONN;
+        if (nonblock)
+            co_return -EAGAIN;
         co_await rx_wait_->wait();
     }
-    const std::uint64_t n =
-        std::min<std::uint64_t>(max_len, rx_.size());
-    if (buf != nullptr)
-        std::copy(rx_.begin(),
-                  rx_.begin() + static_cast<std::ptrdiff_t>(n),
-                  static_cast<std::uint8_t *>(buf));
-    rx_.erase(rx_.begin(), rx_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void
+TcpSocket::consumed(std::uint64_t n)
+{
+    rx_bytes_ -= n;
     // Window opened: unblock the peer's writers and let epoll watchers
     // of the peer re-evaluate EPOLLOUT.
     space_wait_->notifyAll();
     stack_.noteReady(id_);
     if (TcpSocket *pp = stack_.socket(peer_id_))
         stack_.noteReady(pp->id());
+}
+
+sim::Task<std::int64_t>
+TcpSocket::read(void *buf, std::uint64_t max_len)
+{
+    if (max_len == 0)
+        co_return 0;
+    const std::int64_t rdy = co_await awaitReadable(false);
+    if (rdy <= 0)
+        co_return rdy;
+    auto *dst = static_cast<std::uint8_t *>(buf);
+    std::uint64_t n = 0;
+    while (n < max_len && !rx_.empty()) {
+        NetSeg &s = rx_.front();
+        const auto take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(max_len - n, s.len));
+        if (dst != nullptr)
+            std::copy_n(s.bytes(), take, dst + n);
+        s.off += take;
+        s.len -= take;
+        if (s.len == 0)
+            rx_.pop_front();
+        n += take;
+    }
+    stack_.counters_.copiedBytes += n;
+    consumed(n);
     co_return static_cast<std::int64_t>(n);
 }
 
 sim::Task<std::int64_t>
-TcpSocket::write(const void *buf, std::uint64_t len)
+TcpSocket::readv(const IoVec *iov, int iov_cnt)
 {
-    const auto *p = static_cast<const std::uint8_t *>(buf);
+    std::uint64_t cap = 0;
+    for (int i = 0; i < iov_cnt; ++i)
+        cap += iov[i].len;
+    if (cap == 0)
+        co_return 0;
+    const std::int64_t rdy = co_await awaitReadable(false);
+    if (rdy <= 0)
+        co_return rdy;
+    std::uint64_t n = 0;
+    int vi = 0;
+    std::uint64_t voff = 0;
+    while (n < cap && !rx_.empty()) {
+        while (vi < iov_cnt && voff >= iov[vi].len) {
+            ++vi;
+            voff = 0;
+        }
+        NetSeg &s = rx_.front();
+        const auto take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(iov[vi].len - voff, s.len));
+        auto *dst = static_cast<std::uint8_t *>(iov[vi].asPtr());
+        if (dst != nullptr)
+            std::copy_n(s.bytes(), take, dst + voff);
+        s.off += take;
+        s.len -= take;
+        if (s.len == 0)
+            rx_.pop_front();
+        voff += take;
+        n += take;
+    }
+    stack_.counters_.copiedBytes += n;
+    consumed(n);
+    co_return static_cast<std::int64_t>(n);
+}
+
+sim::Task<std::int64_t>
+TcpSocket::readSegments(NetSeg *out, int max_segs, bool nonblock)
+{
+    if (max_segs <= 0)
+        co_return -EINVAL;
+    const std::int64_t rdy = co_await awaitReadable(nonblock);
+    if (rdy <= 0)
+        co_return rdy;
+    int count = 0;
+    std::uint64_t n = 0;
+    while (count < max_segs && !rx_.empty()) {
+        n += rx_.front().len;
+        out[count++] = std::move(rx_.front());
+        rx_.pop_front();
+    }
+    stack_.counters_.zerocopyBytes += n;
+    consumed(n);
+    co_return static_cast<std::int64_t>(count);
+}
+
+sim::Task<std::int64_t>
+TcpSocket::gatherSend(const IoVec *iov, int iov_cnt,
+                      std::uint64_t total)
+{
     if (error_ != 0)
         co_return -error_;
     if (tcpState_ == TcpState::FinWait)
@@ -212,7 +294,9 @@ TcpSocket::write(const void *buf, std::uint64_t len)
         tcpState_ != TcpState::CloseWait)
         co_return -ENOTCONN;
     std::uint64_t sent = 0;
-    while (sent < len) {
+    int vi = 0;
+    std::uint64_t voff = 0;
+    while (sent < total) {
         if (error_ != 0)
             co_return -error_;
         if (fin_sent_)
@@ -229,11 +313,34 @@ TcpSocket::write(const void *buf, std::uint64_t len)
             co_await peer->space_wait_->wait();
             continue; // re-validate the peer after waking
         }
-        const std::uint64_t seg = std::min<std::uint64_t>(
-            {len - sent, space,
+        const std::uint64_t seg_len = std::min<std::uint64_t>(
+            {total - sent, space,
              static_cast<std::uint64_t>(stack_.params().tcpMss)});
+        // Materialize the wire segment: the one tx copy, gathered
+        // across iovec boundaries. Receivers only reference it.
+        NetSeg seg;
+        seg.data = std::make_shared<std::vector<std::uint8_t>>(seg_len);
+        seg.len = static_cast<std::uint32_t>(seg_len);
+        std::uint64_t filled = 0;
+        while (filled < seg_len) {
+            while (vi < iov_cnt && voff >= iov[vi].len) {
+                ++vi;
+                voff = 0;
+            }
+            const std::uint64_t take =
+                std::min(seg_len - filled, iov[vi].len - voff);
+            const auto *src =
+                static_cast<const std::uint8_t *>(iov[vi].asPtr());
+            if (src != nullptr)
+                std::copy_n(src + voff, take,
+                            seg.data->data() + filled);
+            else
+                std::fill_n(seg.data->data() + filled, take, 0);
+            voff += take;
+            filled += take;
+        }
         bool reset = false;
-        const Tick delay = stack_.segmentDelay(seg, reset);
+        const Tick delay = stack_.segmentDelay(seg_len, reset);
         if (reset) {
             ++stack_.counters_.resets;
             error_ = ECONNRESET;
@@ -250,10 +357,29 @@ TcpSocket::write(const void *buf, std::uint64_t len)
             error_ = ECONNRESET;
             co_return -ECONNRESET;
         }
-        peer->deposit(p == nullptr ? nullptr : p + sent, seg);
-        sent += seg;
+        peer->deposit(std::move(seg));
+        sent += seg_len;
     }
-    co_return static_cast<std::int64_t>(len);
+    co_return static_cast<std::int64_t>(total);
+}
+
+sim::Task<std::int64_t>
+TcpSocket::write(const void *buf, std::uint64_t len)
+{
+    IoVec one;
+    one.base = static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(buf));
+    one.len = len;
+    co_return co_await gatherSend(&one, 1, len);
+}
+
+sim::Task<std::int64_t>
+TcpSocket::writev(const IoVec *iov, int iov_cnt)
+{
+    std::uint64_t total = 0;
+    for (int i = 0; i < iov_cnt; ++i)
+        total += iov[i].len;
+    co_return co_await gatherSend(iov, iov_cnt, total);
 }
 
 sim::Task<int>
@@ -308,21 +434,21 @@ std::uint64_t
 TcpSocket::rxSpace() const
 {
     const std::uint64_t window = stack_.params().tcpWindowBytes;
-    return rx_.size() >= window ? 0 : window - rx_.size();
+    return rx_bytes_ >= window ? 0 : window - rx_bytes_;
 }
 
 void
-TcpSocket::deposit(const std::uint8_t *data, std::uint64_t len)
+TcpSocket::deposit(NetSeg seg)
 {
-    const std::uint64_t n = std::min(len, rxSpace());
-    if (data != nullptr)
-        rx_.insert(rx_.end(), data, data + n);
-    else
-        rx_.insert(rx_.end(), n, 0);
-    if (n > 0) {
-        rx_wait_->notifyAll();
-        stack_.noteReady(id_);
-    }
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(seg.len, rxSpace()));
+    if (n == 0)
+        return;
+    seg.len = n; // window shrank in flight: excess trimmed (as before)
+    rx_.push_back(std::move(seg));
+    rx_bytes_ += n;
+    rx_wait_->notifyAll();
+    stack_.noteReady(id_);
 }
 
 void

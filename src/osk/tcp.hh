@@ -11,6 +11,16 @@
  * connection. No checksum/sequence machinery is modeled — the wire is
  * lossy but not reordering, which is all the timing study requires.
  *
+ * Receive buffering is a chain of refcounted wire segments (NetSeg)
+ * living in GPU-visible memory rather than a flat byte deque: write()
+ * materializes each wire segment exactly once (the tx DMA), deposit()
+ * moves the reference into the peer's chain, and readers choose
+ * between the classic copy-out path (read/readv, counted in
+ * copiedBytes) and the zero-copy path (readSegments, which transfers
+ * segment ownership to the caller and counts zerocopyBytes). The two
+ * counters under /sys/genesys/net/tcp/ are how benchmarks prove a
+ * serving path never copied on its hot path.
+ *
  * Readiness changes (data arrival, accept-queue growth, window space,
  * EOF, reset) are reported through a stack-level callback so the epoll
  * layer (osk/epoll.hh) can wake multi-socket waiters.
@@ -56,6 +66,36 @@ inline constexpr int SHUT_RD_ = 0;
 inline constexpr int SHUT_WR_ = 1;
 inline constexpr int SHUT_RDWR_ = 2;
 
+// sendmsg/recvmsg flag subset (values match Linux). MSG_DONTWAIT
+// turns an empty receive chain into -EAGAIN instead of a park — the
+// drain loop primitive edge-triggered consumers are built on.
+// MSG_ZEROCOPY switches recvmsg to the loaned-segment protocol: the
+// caller's iovec entries are rewritten to point into refcounted wire
+// segments instead of being copied into.
+inline constexpr int MSG_DONTWAIT_ = 0x40;
+inline constexpr int MSG_ZEROCOPY_ = 0x4000000;
+
+/**
+ * One refcounted wire segment. The backing vector is allocated once by
+ * the sender (the single tx copy the DMA model charges for) and then
+ * only referenced: deposit() moves it into the receiver's chain and
+ * readSegments() hands it to the consumer without copying. (off, len)
+ * window the live bytes so partial copy-out reads can coexist with
+ * whole-segment loans on the same chain.
+ */
+struct NetSeg
+{
+    std::shared_ptr<std::vector<std::uint8_t>> data;
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+
+    const std::uint8_t *
+    bytes() const
+    {
+        return data->data() + off;
+    }
+};
+
 /** Stack-wide counters, exported through /sys/genesys/net/tcp/. */
 struct TcpCounters
 {
@@ -67,6 +107,8 @@ struct TcpCounters
     std::uint64_t connects = 0;
     std::uint64_t refused = 0; ///< connects with no listener/backlog.
     std::uint64_t resets = 0;  ///< attempt budget exhausted.
+    std::uint64_t copiedBytes = 0;   ///< rx bytes copied out (read/readv).
+    std::uint64_t zerocopyBytes = 0; ///< rx bytes loaned (readSegments).
 };
 
 class TcpStack;
@@ -107,9 +149,27 @@ class TcpSocket
     /**
      * Stream read: returns immediately-available bytes (up to
      * @p max_len), waits while the receive buffer is empty, returns 0
-     * at EOF (peer FIN, buffer drained).
+     * at EOF (peer FIN, buffer drained). Copy-out path: bytes are
+     * counted in TcpCounters::copiedBytes.
      */
     sim::Task<std::int64_t> read(void *buf, std::uint64_t max_len);
+
+    /**
+     * Scatter read: like read() but fills @p iov[0..iov_cnt) in order.
+     * One wait, then as many immediately-available bytes as fit.
+     */
+    sim::Task<std::int64_t> readv(const IoVec *iov, int iov_cnt);
+
+    /**
+     * Zero-copy read: pops up to @p max_segs whole segments off the
+     * receive chain into @p out, transferring ownership (the caller's
+     * NetSeg refs keep the buffers alive). Bytes are counted in
+     * TcpCounters::zerocopyBytes, never copiedBytes.
+     * @return segment count (> 0), 0 at EOF, or negative errno;
+     * -EAGAIN when @p nonblock and the chain is empty.
+     */
+    sim::Task<std::int64_t> readSegments(NetSeg *out, int max_segs,
+                                         bool nonblock);
 
     /**
      * Stream write: segments the payload, charges wire time per
@@ -119,11 +179,18 @@ class TcpSocket
      */
     sim::Task<std::int64_t> write(const void *buf, std::uint64_t len);
 
+    /**
+     * Gather write: transmits @p iov[0..iov_cnt) as one stream, wire
+     * segments packed across iovec boundaries (one tx copy per wire
+     * segment, same as write()).
+     */
+    sim::Task<std::int64_t> writev(const IoVec *iov, int iov_cnt);
+
     /** Half/full close. @return 0 or negative errno. */
     sim::Task<int> shutdown(int how);
 
-    // Readiness probes for the epoll layer (level-triggered).
-    std::size_t rxQueued() const { return rx_.size(); }
+    // Readiness probes for the epoll layer.
+    std::size_t rxQueued() const { return rx_bytes_; }
     std::size_t acceptQueued() const { return accept_q_.size(); }
     bool eofPending() const { return fin_rcvd_; }
     bool errorPending() const { return error_ != 0; }
@@ -136,14 +203,28 @@ class TcpSocket
     /** Free space in this socket's receive window. */
     std::uint64_t rxSpace() const;
 
-    /** Deposit stream bytes arriving from the peer. */
-    void deposit(const std::uint8_t *data, std::uint64_t len);
+    /** Take ownership of a wire segment arriving from the peer. */
+    void deposit(NetSeg seg);
 
     /** Peer sent FIN: mark EOF and wake readers. */
     void finFromPeer();
 
     /** Hard error (reset): fail pending and future operations. */
     void resetFromPeer();
+
+    /**
+     * Shared wait/validate prologue for the read family: waits until
+     * data is queued or a terminal condition holds. @return 1 when
+     * data is available, else 0 (EOF) or negative errno.
+     */
+    sim::Task<std::int64_t> awaitReadable(bool nonblock);
+
+    /** Post-consume bookkeeping: open window, wake, note readiness. */
+    void consumed(std::uint64_t n);
+
+    /** Gather-send over an iovec cursor; shared by write/writev. */
+    sim::Task<std::int64_t> gatherSend(const IoVec *iov, int iov_cnt,
+                                       std::uint64_t total);
 
     TcpStack &stack_;
     int id_;
@@ -153,7 +234,8 @@ class TcpSocket
     int peer_id_ = -1;
     int error_ = 0; ///< sticky errno after a reset.
 
-    std::deque<std::uint8_t> rx_;
+    std::deque<NetSeg> rx_;     ///< receive chain (refcounted segs).
+    std::uint64_t rx_bytes_ = 0; ///< live bytes across the chain.
     bool fin_rcvd_ = false;
     bool fin_sent_ = false;
 
@@ -191,7 +273,7 @@ class TcpStack
 
     /**
      * Readiness observer: called with a socket id whenever that
-     * socket's level-triggered readiness may have changed.
+     * socket's readiness may have changed.
      */
     void setReadyCallback(std::function<void(int)> cb)
     {

@@ -14,6 +14,7 @@ reportKindName(ReportKind kind)
     case ReportKind::PayloadRace: return "payload-race";
     case ReportKind::OrderingViolation: return "ordering-violation";
     case ReportKind::LostWakeup: return "lost-wakeup";
+    case ReportKind::LostEdge: return "lost-edge";
     }
     return "?";
 }
@@ -181,6 +182,7 @@ Sanitizer::reset()
     wakeChannel_.clear();
     droppedWakes_.clear();
     epollChannels_.clear();
+    edgeChannels_.clear();
     ringChannels_.clear();
     reports_.clear();
     totalReports_ = 0;
@@ -430,6 +432,59 @@ Sanitizer::epollNotify(std::uint64_t key)
         join(ch.clock, thread(actor_).clock);
         tick(actor_);
     }
+}
+
+// ---- epoll edge-event channel ------------------------------------------
+
+void
+Sanitizer::epollEdgeSeen(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    EdgeChannel &ch = edgeChannels_[key];
+    if (ch.seen > ch.recorded) {
+        // A previously-observed transition was never latched. The
+        // probe state advanced past it, so no later notification can
+        // re-derive the edge: the consumer on the other end sleeps
+        // until the level drops and rises again — possibly forever.
+        report(ReportKind::LostEdge,
+               format("epoll instance %llu: %llu readiness edge(s) "
+                      "(last observed by %s) were seen but never "
+                      "recorded as pending; an edge-triggered waiter "
+                      "relying on replayed edges blocks forever",
+                      static_cast<unsigned long long>(key),
+                      static_cast<unsigned long long>(ch.seen -
+                                                      ch.recorded),
+                      ch.lastSeer.empty() ? "?" : ch.lastSeer.c_str()));
+        ch.seen = ch.recorded; // one report per loss
+    }
+    ++ch.seen;
+    ch.lastSeer =
+        actor_ == kNoThread ? std::string("?") : threadName(actor_);
+}
+
+void
+Sanitizer::epollEdgeRecord(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    EdgeChannel &ch = edgeChannels_[key];
+    ++ch.recorded;
+    if (actor_ != kNoThread) {
+        join(ch.clock, thread(actor_).clock);
+        tick(actor_);
+    }
+}
+
+void
+Sanitizer::epollEdgeDeliver(std::uint64_t key)
+{
+    if (!enabled_)
+        return;
+    EdgeChannel &ch = edgeChannels_[key];
+    ++ch.delivered;
+    if (actor_ != kNoThread)
+        join(thread(actor_).clock, ch.clock);
 }
 
 // ---- SQ/CQ ring channel ------------------------------------------------

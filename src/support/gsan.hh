@@ -67,6 +67,7 @@ enum class ReportKind : std::uint8_t
     PayloadRace,
     OrderingViolation,
     LostWakeup,
+    LostEdge,
 };
 
 const char *reportKindName(ReportKind kind);
@@ -169,6 +170,20 @@ class Sanitizer
     void epollWake(std::uint64_t key, std::uint64_t waiter);
     /** A readiness event fired on instance @p key (sender = actor). */
     void epollNotify(std::uint64_t key);
+
+    // ---- epoll edge-event channel (lost-edge detection) -----------
+    /**
+     * An edge-mode interest on instance @p key observed a readiness
+     * transition (probe state advanced). Every observation must be
+     * followed by an epollEdgeRecord — an observation with no record
+     * means the edge was dropped and, since the probe state already
+     * moved past it, can never be re-derived: reported as LostEdge.
+     */
+    void epollEdgeSeen(std::uint64_t key);
+    /** The observed edge was latched as pending (release). */
+    void epollEdgeRecord(std::uint64_t key);
+    /** A latched edge was replayed to a waiter (acquire). */
+    void epollEdgeDeliver(std::uint64_t key);
 
     // ---- SQ/CQ ring channel (DESIGN.md §13) -----------------------
     /**
@@ -286,6 +301,15 @@ class Sanitizer
         std::map<std::uint64_t, std::uint64_t> seen;
     };
     std::unordered_map<std::uint64_t, EpollChannel> epollChannels_;
+    struct EdgeChannel
+    {
+        Clock clock;
+        std::uint64_t seen = 0;      ///< transitions observed.
+        std::uint64_t recorded = 0;  ///< transitions latched.
+        std::uint64_t delivered = 0; ///< latched edges replayed.
+        std::string lastSeer;
+    };
+    std::unordered_map<std::uint64_t, EdgeChannel> edgeChannels_;
     struct RingChannel
     {
         Clock clock;
@@ -298,7 +322,7 @@ class Sanitizer
 
     std::vector<Report> reports_;
     std::uint64_t totalReports_ = 0;
-    std::uint64_t byKind_[3] = {};
+    std::uint64_t byKind_[4] = {};
 };
 
 } // namespace genesys::gsan

@@ -5,6 +5,8 @@
 
 #include "gkv.hh"
 
+#include <deque>
+#include <map>
 #include <memory>
 
 #include "osk/epoll.hh"
@@ -25,6 +27,8 @@ constexpr double kRequestCycles = 400.0;
 constexpr double kCpuClockHz = 2.7e9;
 
 constexpr int kMaxEvents = 8;
+/// Scatter width of one recvmsg/readSegments drain call.
+constexpr int kMaxSegs = 8;
 
 struct Request
 {
@@ -44,6 +48,21 @@ struct Shared
     std::uint64_t nextVersion = 0;
     stats::Distribution latencies{"gkv.latency_us"};
 
+    /**
+     * Per-connection server state: the split-frame carry buffer, the
+     * recvmsg scatter list (rewritten in place by MSG_ZEROCOPY to
+     * point into loaned wire segments), and the batched-reply frames
+     * with their writev gather list. Lives host-side so the buffers
+     * stay put across the GPU kernel's co_awaits.
+     */
+    struct Conn
+    {
+        std::vector<std::uint8_t> partial;
+        std::vector<osk::IoVec> rxIov;
+        std::vector<std::vector<std::uint8_t>> txFrames;
+        std::vector<osk::IoVec> txIov;
+    };
+
     /// Per-server-group state (buffers live host-side, like the
     /// memcached study's GroupBufs).
     struct Group
@@ -53,8 +72,7 @@ struct Shared
         std::vector<osk::EpollEvent> events;
         osk::EpollEvent ctlEv{};
         osk::SockAddr peer{};
-        std::vector<std::uint8_t> rx;
-        std::vector<std::uint8_t> tx;
+        std::map<int, Conn> conns;
     };
     std::vector<Group> groups;
 };
@@ -75,6 +93,62 @@ gpuServeCycles(std::uint32_t value_bytes, std::uint32_t items)
         (kRequestCycles +
          static_cast<double>(value_bytes) * kCopyCyclesPerByte) /
         items);
+}
+
+/**
+ * Frame reassembly: feed a byte run into the per-connection parse
+ * state machine, invoking @p on_frame with a pointer to each complete
+ * frame. Frames fully contained in the run are parsed in place (zero
+ * copies); a frame straddling run boundaries accumulates in
+ * @p partial and is delivered from there.
+ */
+template <typename Fn>
+void
+feedFrames(std::vector<std::uint8_t> &partial,
+           std::uint32_t frame_bytes, const std::uint8_t *p,
+           std::uint64_t n, Fn &&on_frame)
+{
+    while (n > 0) {
+        if (partial.empty() && n >= frame_bytes) {
+            on_frame(p);
+            p += frame_bytes;
+            n -= frame_bytes;
+            continue;
+        }
+        const std::uint64_t need = frame_bytes - partial.size();
+        const std::uint64_t take = n < need ? n : need;
+        partial.insert(partial.end(), p, p + take);
+        p += take;
+        n -= take;
+        if (partial.size() == frame_bytes) {
+            on_frame(partial.data());
+            partial.clear();
+        }
+    }
+}
+
+/**
+ * Parse every complete request out of the loaned segments the last
+ * recvmsg left in @p cn.rxIov. Only the 16-byte header is decoded —
+ * the store never reads a request payload, so frame bodies stay in
+ * the loaned segments untouched. Must complete before the next
+ * recvmsg on the same fd: that call retires this loan generation.
+ */
+void
+collectRequests(Shared::Conn &cn, std::uint32_t frame_bytes,
+                std::vector<GkvFrame> &out)
+{
+    for (const osk::IoVec &v : cn.rxIov) {
+        if (v.len == 0)
+            break;
+        feedFrames(cn.partial, frame_bytes,
+                   static_cast<const std::uint8_t *>(v.asPtr()),
+                   v.len, [&](const std::uint8_t *f) {
+                       auto req = gkvDecode(f, kGkvHeaderBytes);
+                       if (req.has_value())
+                           out.push_back(std::move(*req));
+                   });
+    }
 }
 
 /** Serve one decoded request frame against the store. */
@@ -103,10 +177,29 @@ serveRequest(Shared &shared, const GkvFrame &req)
     return reply;
 }
 
+/** Stage the served replies as one writev gather list. */
+void
+batchReplies(Shared &shared, Shared::Conn &cn,
+             const std::vector<GkvFrame> &reqs)
+{
+    cn.txFrames.clear();
+    cn.txIov.clear();
+    for (const GkvFrame &req : reqs) {
+        cn.txFrames.push_back(gkvEncode(serveRequest(shared, req),
+                                        shared.store->valueBytes()));
+    }
+    for (const auto &f : cn.txFrames) {
+        cn.txIov.push_back(osk::IoVec{
+            osk::SyscallArgs::fromPtr(f.data()), f.size()});
+    }
+}
+
 /**
- * CPU server loop for one group: the same epoll/accept/read/reply
- * structure the GPU kernel runs, expressed with direct kernel
- * syscalls. Exits once every expected connection has reached EOF.
+ * CPU server loop for one group: the same multiplexed structure the
+ * GPU kernel runs — level-triggered listen socket, edge-triggered
+ * connections drained to -EAGAIN with zero-copy recvmsg, batched
+ * writev replies — expressed with direct kernel syscalls. Exits once
+ * every expected connection has reached EOF.
  */
 sim::Task<>
 cpuGkvServer(core::System &sys, std::shared_ptr<Shared> shared,
@@ -129,6 +222,7 @@ cpuGkvServer(core::System &sys, std::shared_ptr<Shared> shared,
                       &st.ctlEv));
     GENESYS_ASSERT(rc == 0, "gkv epoll_ctl failed");
 
+    std::vector<GkvFrame> reqs;
     std::uint32_t closed = 0;
     while (closed < st.expectedConns) {
         const std::int64_t n = co_await sys.kernel().doSyscall(
@@ -145,43 +239,64 @@ cpuGkvServer(core::System &sys, std::shared_ptr<Shared> shared,
                         osk::makeArgs(fd, &st.peer, 8));
                 GENESYS_ASSERT(cfd >= 0, "gkv accept failed");
                 st.ctlEv = osk::EpollEvent{
-                    osk::EPOLLIN_, static_cast<std::uint64_t>(cfd)};
+                    osk::EPOLLIN_ | osk::EPOLLET_,
+                    static_cast<std::uint64_t>(cfd)};
                 rc = co_await sys.kernel().doSyscall(
                     sys.process(), osk::sysno::epoll_ctl,
                     osk::makeArgs(epfd, osk::EPOLL_CTL_ADD_,
                                   static_cast<int>(cfd), &st.ctlEv));
                 GENESYS_ASSERT(rc == 0, "gkv epoll_ctl add failed");
+                st.conns[static_cast<int>(cfd)] = Shared::Conn{};
                 ++shared->accepted;
                 continue;
             }
-            const std::int64_t rn = co_await sys.kernel().doSyscall(
-                sys.process(), osk::sysno::read,
-                osk::makeArgs(fd, st.rx.data(), frame_bytes));
-            if (rn <= 0) {
-                co_await sys.kernel().doSyscall(
-                    sys.process(), osk::sysno::epoll_ctl,
-                    osk::makeArgs(epfd, osk::EPOLL_CTL_DEL_, fd,
-                                  nullptr));
-                co_await sys.kernel().doSyscall(
-                    sys.process(), osk::sysno::close,
-                    osk::makeArgs(fd));
-                ++closed;
-                continue;
+            // Edge-triggered: drain the connection to -EAGAIN.
+            for (;;) {
+                auto &cn = st.conns[fd];
+                cn.rxIov.assign(kMaxSegs, osk::IoVec{});
+                const std::int64_t rn =
+                    co_await sys.kernel().doSyscall(
+                        sys.process(), osk::sysno::recvmsg,
+                        osk::makeArgs(
+                            fd, cn.rxIov.data(), kMaxSegs,
+                            std::uint64_t(osk::MSG_ZEROCOPY_ |
+                                          osk::MSG_DONTWAIT_)));
+                if (rn == -EAGAIN)
+                    break;
+                if (rn <= 0) {
+                    co_await sys.kernel().doSyscall(
+                        sys.process(), osk::sysno::epoll_ctl,
+                        osk::makeArgs(epfd, osk::EPOLL_CTL_DEL_, fd,
+                                      nullptr));
+                    co_await sys.kernel().doSyscall(
+                        sys.process(), osk::sysno::close,
+                        osk::makeArgs(fd));
+                    st.conns.erase(fd);
+                    ++closed;
+                    break;
+                }
+                reqs.clear();
+                collectRequests(cn, frame_bytes, reqs);
+                for (std::size_t r = 0; r < reqs.size(); ++r) {
+                    co_await sim::Delay(
+                        sys.sim().events(),
+                        cpuServeTicks(shared->store->valueBytes()));
+                }
+                batchReplies(*shared, cn, reqs);
+                if (cn.txIov.empty())
+                    continue;
+                const std::int64_t wn =
+                    co_await sys.kernel().doSyscall(
+                        sys.process(), osk::sysno::writev,
+                        osk::makeArgs(
+                            fd, cn.txIov.data(),
+                            static_cast<int>(cn.txIov.size())));
+                GENESYS_ASSERT(
+                    wn == static_cast<std::int64_t>(
+                              std::uint64_t(reqs.size()) *
+                              frame_bytes),
+                    "gkv reply writev failed");
             }
-            const auto req = gkvDecode(st.rx.data(),
-                                       static_cast<std::size_t>(rn));
-            GENESYS_ASSERT(req.has_value(), "gkv bad request");
-            co_await sim::Delay(
-                sys.sim().events(),
-                cpuServeTicks(shared->store->valueBytes()));
-            st.tx = gkvEncode(serveRequest(*shared, *req),
-                              shared->store->valueBytes());
-            const std::int64_t wn = co_await sys.kernel().doSyscall(
-                sys.process(), osk::sysno::write,
-                osk::makeArgs(fd, st.tx.data(), st.tx.size()));
-            GENESYS_ASSERT(wn ==
-                               static_cast<std::int64_t>(st.tx.size()),
-                           "gkv reply write failed");
         }
     }
     co_await sys.kernel().doSyscall(sys.process(), osk::sysno::close,
@@ -191,11 +306,12 @@ cpuGkvServer(core::System &sys, std::shared_ptr<Shared> shared,
 }
 
 /**
- * Load-generator connection: connect, issue the scripted request mix
- * closed-loop with think time, then half-close and wait for the
- * server's FIN. Runs on the modeled wire via the raw stream API (the
- * generator stands in for remote machines, like the memcached
- * clients).
+ * Load-generator connection: connect, keep up to pipelineDepth
+ * scripted requests in flight (each window refill is one batched
+ * write — the request train), parse replies zero-copy off the
+ * segment chain, then half-close and wait for the server's FIN. Runs
+ * on the modeled wire via the raw stream API (the generator stands in
+ * for remote machines, like the memcached clients).
  */
 sim::Task<>
 gkvClient(core::System &sys, std::shared_ptr<Shared> shared,
@@ -204,6 +320,10 @@ gkvClient(core::System &sys, std::shared_ptr<Shared> shared,
     auto &tcp = sys.kernel().tcp();
     const std::uint32_t value_bytes = shared->store->valueBytes();
     const std::uint32_t frame_bytes = kGkvHeaderBytes + value_bytes;
+    const std::uint32_t depth =
+        shared->config->pipelineDepth == 0
+            ? 1
+            : shared->config->pipelineDepth;
 
     osk::TcpSocket *sock = tcp.createSocket();
     const int sock_id = sock->id();
@@ -211,39 +331,80 @@ gkvClient(core::System &sys, std::shared_ptr<Shared> shared,
         {1, static_cast<std::uint16_t>(kGkvBasePort + group)});
     GENESYS_ASSERT(rc == 0, "gkv connect failed");
 
-    std::vector<std::uint8_t> rxbuf(frame_bytes);
-    for (const Request &req : script) {
-        GkvFrame f;
-        f.op = req.isSet ? GkvOp::Set : GkvOp::Get;
-        f.key = req.key;
-        if (req.isSet) {
-            f.version = ++shared->nextVersion;
-            f.value = gkvValueFor(f.key, f.version, value_bytes);
+    const std::size_t total = script.size();
+    std::size_t sent = 0;
+    std::size_t completed = 0;
+    std::deque<Tick> issued;         // send tick, per in-flight req
+    std::deque<std::uint32_t> keys;  // expected reply keys, FIFO
+    std::vector<std::uint8_t> batch; // the request train
+    const auto fillWindow = [&]() {
+        batch.clear();
+        while (sent < total && sent - completed < depth) {
+            const Request &req = script[sent];
+            GkvFrame f;
+            f.op = req.isSet ? GkvOp::Set : GkvOp::Get;
+            f.key = req.key;
+            if (req.isSet) {
+                f.version = ++shared->nextVersion;
+                f.value = gkvValueFor(f.key, f.version, value_bytes);
+            }
+            const auto wire = gkvEncode(f, value_bytes);
+            batch.insert(batch.end(), wire.begin(), wire.end());
+            issued.push_back(sys.sim().now());
+            keys.push_back(f.key);
+            ++sent;
         }
-        const auto wire = gkvEncode(f, value_bytes);
-        const Tick t0 = sys.sim().now();
+    };
+
+    std::vector<std::uint8_t> partial;
+    osk::NetSeg segs[kMaxSegs];
+    fillWindow();
+    if (!batch.empty()) {
         const std::int64_t wn =
-            co_await sock->write(wire.data(), wire.size());
-        GENESYS_ASSERT(wn == static_cast<std::int64_t>(wire.size()),
+            co_await sock->write(batch.data(), batch.size());
+        GENESYS_ASSERT(wn == static_cast<std::int64_t>(batch.size()),
                        "gkv request write failed");
-        std::uint64_t got = 0;
-        while (got < frame_bytes) {
-            const std::int64_t n = co_await sock->read(
-                rxbuf.data() + got, frame_bytes - got);
-            GENESYS_ASSERT(n > 0, "gkv reply truncated");
-            got += static_cast<std::uint64_t>(n);
+    }
+    while (completed < total) {
+        const std::int64_t got =
+            co_await sock->readSegments(segs, kMaxSegs, false);
+        GENESYS_ASSERT(got > 0, "gkv reply stream truncated");
+        std::uint64_t replies = 0;
+        for (std::int64_t i = 0; i < got; ++i) {
+            feedFrames(
+                partial, frame_bytes, segs[i].bytes(), segs[i].len,
+                [&](const std::uint8_t *f) {
+                    const auto reply = gkvDecode(f, frame_bytes);
+                    const std::uint32_t want_key = keys.front();
+                    keys.pop_front();
+                    shared->latencies.sample(
+                        ticks::toUs(sys.sim().now() -
+                                    issued.front()));
+                    issued.pop_front();
+                    if (!reply.has_value() ||
+                        reply->key != want_key ||
+                        reply->op != GkvOp::Reply ||
+                        reply->value !=
+                            gkvValueFor(reply->key, reply->version,
+                                        value_bytes)) {
+                        ++shared->badReplies;
+                    }
+                    ++replies;
+                });
+            segs[i] = osk::NetSeg{}; // drop the loan promptly
         }
-        shared->latencies.sample(ticks::toUs(sys.sim().now() - t0));
-        const auto reply = gkvDecode(rxbuf.data(), frame_bytes);
-        if (!reply.has_value() || reply->key != f.key ||
-            reply->op != GkvOp::Reply ||
-            reply->value !=
-                gkvValueFor(reply->key, reply->version, value_bytes)) {
-            ++shared->badReplies;
-        }
-        if (shared->config->thinkNs > 0) {
+        completed += replies;
+        if (shared->config->thinkNs > 0 && replies > 0) {
             co_await sim::Delay(sys.sim().events(),
-                                shared->config->thinkNs);
+                                shared->config->thinkNs * replies);
+        }
+        fillWindow();
+        if (!batch.empty()) {
+            const std::int64_t wn =
+                co_await sock->write(batch.data(), batch.size());
+            GENESYS_ASSERT(
+                wn == static_cast<std::int64_t>(batch.size()),
+                "gkv request write failed");
         }
     }
     co_await sock->shutdown(osk::SHUT_WR_);
@@ -340,11 +501,8 @@ runGkv(core::System &sys, const GkvConfig &config)
     shared->groups.resize(config.serverGroups);
     for (std::uint32_t c = 0; c < config.numConnections; ++c)
         ++shared->groups[c % config.serverGroups].expectedConns;
-    for (auto &g : shared->groups) {
+    for (auto &g : shared->groups)
         g.events.resize(kMaxEvents);
-        g.rx.resize(frame_bytes);
-        g.tx.resize(frame_bytes);
-    }
 
     // Request scripts, drawn up front so the mix is independent of
     // connection interleaving.
@@ -420,6 +578,7 @@ runGkv(core::System &sys, const GkvConfig &config)
                 ctx, weak, static_cast<int>(epfd),
                 osk::EPOLL_CTL_ADD_, st.listenFd, &st.ctlEv);
 
+            std::vector<GkvFrame> reqs;
             std::uint32_t closed = 0;
             while (closed < st.expectedConns) {
                 const std::int64_t n =
@@ -436,40 +595,58 @@ runGkv(core::System &sys, const GkvConfig &config)
                         if (cfd < 0)
                             continue;
                         st.ctlEv = osk::EpollEvent{
-                            osk::EPOLLIN_,
+                            osk::EPOLLIN_ | osk::EPOLLET_,
                             static_cast<std::uint64_t>(cfd)};
                         co_await sys.gpuSys().epollCtl(
                             ctx, weak, static_cast<int>(epfd),
                             osk::EPOLL_CTL_ADD_,
                             static_cast<int>(cfd), &st.ctlEv);
+                        st.conns[static_cast<int>(cfd)] =
+                            Shared::Conn{};
                         ++shared->accepted;
                         continue;
                     }
-                    const std::int64_t rn =
-                        co_await sys.gpuSys().read(
-                            ctx, weak, fd, st.rx.data(), frame);
-                    if (rn <= 0) {
-                        co_await sys.gpuSys().epollCtl(
-                            ctx, weak, static_cast<int>(epfd),
-                            osk::EPOLL_CTL_DEL_, fd, nullptr);
-                        co_await sys.gpuSys().close(ctx, weak, fd);
-                        ++closed;
-                        continue;
+                    // Edge-triggered: drain this connection to
+                    // -EAGAIN, parsing requests straight out of the
+                    // loaned segments and batching the replies.
+                    for (;;) {
+                        auto &cn = st.conns[fd];
+                        cn.rxIov.assign(kMaxSegs, osk::IoVec{});
+                        const std::int64_t rn =
+                            co_await sys.gpuSys().recvmsg(
+                                ctx, weak, fd, cn.rxIov.data(),
+                                kMaxSegs,
+                                std::uint64_t(osk::MSG_ZEROCOPY_ |
+                                              osk::MSG_DONTWAIT_));
+                        if (rn == -EAGAIN)
+                            break;
+                        if (rn <= 0) {
+                            co_await sys.gpuSys().epollCtl(
+                                ctx, weak, static_cast<int>(epfd),
+                                osk::EPOLL_CTL_DEL_, fd, nullptr);
+                            co_await sys.gpuSys().close(ctx, weak,
+                                                        fd);
+                            st.conns.erase(fd);
+                            ++closed;
+                            break;
+                        }
+                        reqs.clear();
+                        collectRequests(cn, frame, reqs);
+                        for (std::size_t r = 0; r < reqs.size();
+                             ++r) {
+                            // Value materialization parallelized
+                            // across the work-group's lanes.
+                            co_await ctx.compute(gpuServeCycles(
+                                shared->store->valueBytes(),
+                                wg_size));
+                        }
+                        batchReplies(*shared, cn, reqs);
+                        if (cn.txIov.empty())
+                            continue;
+                        co_await sys.gpuSys().writev(
+                            ctx, weak, fd, cn.txIov.data(),
+                            static_cast<int>(cn.txIov.size()));
                     }
-                    const auto req = gkvDecode(
-                        st.rx.data(),
-                        static_cast<std::size_t>(rn));
-                    if (!req.has_value())
-                        continue;
-                    // Value materialization parallelized across the
-                    // work-group's lanes.
-                    co_await ctx.compute(gpuServeCycles(
-                        shared->store->valueBytes(), wg_size));
-                    st.tx = gkvEncode(serveRequest(*shared, *req),
-                                      shared->store->valueBytes());
-                    co_await sys.gpuSys().write(ctx, weak, fd,
-                                                st.tx.data(),
-                                                st.tx.size());
                 }
             }
             co_await sys.gpuSys().close(ctx, weak,
@@ -500,6 +677,7 @@ runGkv(core::System &sys, const GkvConfig &config)
         shared->gets + shared->sets == total_requests &&
         shared->accepted == config.numConnections;
     result.p50LatencyUs = shared->latencies.percentile(50);
+    result.p95LatencyUs = shared->latencies.percentile(95);
     result.p99LatencyUs = shared->latencies.percentile(99);
     result.throughputKops =
         result.elapsed == 0

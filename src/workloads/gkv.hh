@@ -3,14 +3,23 @@
  * gkv: a GPU-resident key-value server over TCP + epoll (gnet).
  *
  * The stream-socket analogue of the UDP memcached study: each server
- * work-group owns a listening socket and an epoll instance, and runs
- * an accept/read/reply loop entirely from a persistent GPU kernel —
- * epoll_wait, accept, read, and write all travel through GENESYS
- * syscall slots, so a quiet server work-group halts in epoll_wait and
- * is resumed by the normal doorbell machinery when a connection or a
- * request arrives. A host-side load generator drives it over the
- * modeled wire with a configurable connection count, GET/SET mix, and
- * per-request think time.
+ * work-group owns a listening socket and an epoll instance and
+ * multiplexes many connections — the listen socket is level-
+ * triggered, every accepted connection is registered edge-triggered,
+ * and each edge is drained to -EAGAIN with zero-copy
+ * recvmsg(MSG_ZEROCOPY | MSG_DONTWAIT). Requests are parsed by a
+ * per-connection state machine directly out of the loaned wire
+ * segments (frames may split across segments once clients pipeline),
+ * and the replies for a drain are sent as one batched writev. All of
+ * it travels through GENESYS syscall slots, so a quiet server
+ * work-group halts in epoll_wait and is resumed by the normal
+ * doorbell machinery when a connection or a request arrives.
+ *
+ * The host-side load generator drives the modeled wire with a
+ * configurable connection count, GET/SET mix, per-request think time,
+ * and a pipelining window: each connection keeps up to pipelineDepth
+ * requests in flight, writing each refill as one batched request
+ * train and parsing replies zero-copy off the segment chain.
  *
  * The same server logic runs on CPU threads (useGpu = false) for the
  * fig15-style comparison.
@@ -40,9 +49,11 @@ enum class GkvOp : std::uint32_t
 
 /**
  * Fixed-size frame: 16-byte header + valueBytes payload, both
- * directions (GET requests carry a dead payload so every read is one
- * frame). Frames stay under the TCP MSS, so each one is a single
- * segment and arrives atomically.
+ * directions (GET requests carry a dead payload so every request is
+ * exactly one frame). A frame fits under the TCP MSS, but pipelined
+ * request trains and batched reply writes pack frames back to back
+ * into MSS-sized segments, so receivers must reassemble frames that
+ * straddle segment boundaries.
  */
 struct GkvFrame
 {
@@ -99,6 +110,10 @@ struct GkvConfig
     Tick thinkNs = 1000;            ///< per-request client think time
     bool useGpu = true;
     std::uint32_t serverGroups = 2; ///< listen sockets / epoll loops
+    /** Client requests kept in flight per connection; each window
+     *  refill is one batched write, so depth > 1 makes frames span
+     *  wire segments and exercises the split-frame parse path. */
+    std::uint32_t pipelineDepth = 1;
 };
 
 struct GkvResult
@@ -109,6 +124,7 @@ struct GkvResult
     std::uint64_t accepted = 0;
     bool correct = false; ///< every reply verified, all conns served
     double p50LatencyUs = 0.0;
+    double p95LatencyUs = 0.0;
     double p99LatencyUs = 0.0;
     double throughputKops = 0.0;
 };

@@ -331,6 +331,84 @@ TEST(GmcNet, HaltResumeBoundedExplorationIsClean)
     }
 }
 
+// --------------------------------- edge-triggered gnet exploration
+
+TEST(GmcEtNet, NameCarriesLostEdgeSuffix)
+{
+    McConfig mc = baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const std::string plain = mc.name();
+    mc.lostEdge = true;
+    EXPECT_EQ(mc.name(), plain + "-etlost");
+}
+
+TEST(GmcEtNet, FifoRunIsCleanAndDeterministic)
+{
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    const RunOutcome a = core::gmc::replayEtNetConfig(mc, {});
+    const RunOutcome b = core::gmc::replayEtNetConfig(mc, {});
+    EXPECT_FALSE(a.violation) << a.kind << ": " << a.detail;
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.endTick, b.endTick);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(GmcEtNet, PollingBoundedExplorationIsClean)
+{
+    // Like the LT net scenario, the schedule space is too large for
+    // exhaustive CI exploration; every explored schedule must still
+    // pass all oracles — in particular, no reordering of wire
+    // deliveries against the drain loop may lose a readiness edge.
+    const McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::Polling);
+    ExploreOptions opts;
+    opts.maxSchedules = 24;
+    opts.maxDepth = 12;
+    const ExploreResult r = core::gmc::exploreEtNetConfig(mc, opts);
+    EXPECT_GT(r.stats.schedulesRun, 1u);
+    for (const auto &v : r.violations) {
+        ADD_FAILURE() << mc.name() << " ET net schedule "
+                      << sim::gmc::renderSchedule(v.schedule) << ": "
+                      << v.outcome.kind << " — " << v.outcome.detail;
+    }
+}
+
+TEST(GmcEtNet, LostEdgeMutantStrandsServer)
+{
+    // The seeded mutant observes the connection's first readable
+    // transition but never latches it as pending. Under strict ET no
+    // later send can re-derive the edge (data arriving on a non-empty
+    // chain is not a transition), so the server sleeps in epoll_wait
+    // and the client blocks on its echo. Unlike the slot-protocol
+    // mutants this drop is not a reordering — it fires on every
+    // schedule — so the value here is the oracle coverage and the
+    // replayable counterexample, exercised in the halt/resume wait
+    // mode where a lost readiness edge really does strand the wave.
+    LeakWaiver waiver;
+    McConfig mc =
+        baseConfig(Granularity::WorkGroup, WaitMode::HaltResume);
+    mc.lostEdge = true;
+    ExploreOptions opts;
+    opts.maxCounterexamples = 1;
+    const ExploreResult r = core::gmc::exploreEtNetConfig(mc, opts);
+    ASSERT_FALSE(r.violations.empty())
+        << mc.name() << ": lost-edge mutant not found";
+    const auto &cx = r.violations.front();
+    EXPECT_EQ(cx.outcome.kind, "stuck")
+        << "schedule " << sim::gmc::renderSchedule(cx.schedule) << ": "
+        << cx.outcome.detail;
+
+    const RunOutcome once = core::gmc::replayEtNetConfig(mc, cx.schedule);
+    const RunOutcome twice =
+        core::gmc::replayEtNetConfig(mc, cx.schedule);
+    EXPECT_TRUE(once.violation);
+    EXPECT_EQ(once.kind, cx.outcome.kind);
+    EXPECT_EQ(once.kind, twice.kind);
+    EXPECT_EQ(once.detail, twice.detail);
+    EXPECT_EQ(once.endTick, twice.endTick);
+    EXPECT_EQ(once.events, twice.events);
+}
+
 // --------------------------------------- SQ/CQ ring exploration
 
 /** Ring analogue of expectMutantCaught: explore the ringScenario of

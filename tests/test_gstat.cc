@@ -4,10 +4,11 @@
  *
  * The seeded-defect corpus (`gstat --self-test`, also run here) is the
  * broad regression net; these tests pin the analyzer's contract at the
- * API level: witness chains, the suppression window, and the three
+ * API level: witness chains, the suppression window, and the
  * resolution-hygiene mechanisms (noreturn terminators, explicit
- * qualifiers, opaque API-boundary classes) that keep the real tree
- * free of false park chains.
+ * qualifiers, opaque API-boundary classes, arity-refined resolution,
+ * sign-context pruning) that keep the real tree free of false park
+ * chains.
  */
 
 #include "analysis/analyzer.hh"
@@ -150,6 +151,60 @@ TEST(Gstat, NoreturnTerminatorCutsParkPropagation)
     const AnalysisResult r = analyze(std::string(kTablePrologue) + R"src(
 void panic(WaitQueue &wq) { wq.wait(); }
 long sysIoctl(WaitQueue &wq) { panic(wq); return 0; }
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gstat, SignGuardFlowPrunesDeadPark)
+{
+    // The pread-style flow: caller rejects off < 0, callee's park is
+    // dead behind an off >= 0 early return. Guarded: clean.
+    const char *callee = R"src(
+long helper(WaitQueue &wq, long pos)
+{
+    if (pos >= 0)
+        return -29;
+    return wq.wait();
+}
+)src";
+    const AnalysisResult guarded =
+        analyze(std::string(kTablePrologue) + callee + R"src(
+long sysIoctl(WaitQueue &wq, long off)
+{
+    if (off < 0)
+        return -22;
+    return helper(wq, off);
+}
+)src");
+    EXPECT_TRUE(guarded.findings.empty());
+
+    // Without the caller guard a negative offset reaches the park.
+    const AnalysisResult unguarded =
+        analyze(std::string(kTablePrologue) + callee + R"src(
+long sysIoctl(WaitQueue &wq, long off)
+{
+    return helper(wq, off);
+}
+)src");
+    EXPECT_EQ(rulesOf(unguarded),
+              std::vector<std::string>{"nonblocking-handler-parks"});
+}
+
+TEST(Gstat, ArityRefinedResolution)
+{
+    // A one-argument call must not resolve to the parking
+    // two-argument overload just because the short names collide.
+    const AnalysisResult r = analyze(std::string(kTablePrologue) + R"src(
+struct Stream
+{
+    WaitQueue wq_;
+    long read(void *buf, unsigned long len) { return wq_.wait(); }
+};
+struct Device
+{
+    long read(unsigned long bytes) { return 0; }
+};
+long sysIoctl(Device &dev) { return dev.read(16); }
 )src");
     EXPECT_TRUE(r.findings.empty());
 }

@@ -21,6 +21,7 @@
 #include "osk/syscalls.hh"
 #include "osk/tcp.hh"
 #include "sim/sim.hh"
+#include "support/gsan.hh"
 #include "support/logging.hh"
 #include "workloads/gkv.hh"
 
@@ -451,6 +452,182 @@ TEST_F(EpollTest, CtlErrorContract)
               0);
 }
 
+TEST_F(EpollTest, EdgeTriggeredFiresOncePerTransition)
+{
+    auto [cli, srv] = establish(7110);
+    osk::EpollInstance *inst = ep_.instance(ep_.create());
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 5, osk::SockKind::Tcp,
+                        srv->id(), osk::EPOLLIN_ | osk::EPOLLET_, 99),
+              0);
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("ping", 4);
+    }(cli));
+    sim_.run();
+
+    osk::EpollEvent ev[4];
+    ASSERT_EQ(waitOnce(inst, ev, 4, 0), 1);
+    EXPECT_EQ(ev[0].data, 99u);
+    EXPECT_TRUE(ev[0].events & osk::EPOLLIN_);
+    // Strict ET: the not-ready -> ready transition was consumed; data
+    // left queued does not re-report.
+    EXPECT_EQ(waitOnce(inst, ev, 4, 1000), 0);
+    // More data while the chain is already non-empty is not a
+    // transition either — this is exactly why ET consumers must drain
+    // to EAGAIN.
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("more", 4);
+    }(cli));
+    sim_.run();
+    EXPECT_EQ(waitOnce(inst, ev, 4, 1000), 0);
+    // Drain to empty; the next arrival is a fresh edge.
+    std::uint8_t buf[16];
+    sim_.spawn([](osk::TcpSocket *s, std::uint8_t *b) -> sim::Task<> {
+        EXPECT_EQ(co_await s->read(b, 16), 8);
+    }(srv, buf));
+    sim_.run();
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("x", 1);
+    }(cli));
+    sim_.run();
+    ASSERT_EQ(waitOnce(inst, ev, 4, 0), 1);
+    EXPECT_EQ(ev[0].data, 99u);
+}
+
+TEST_F(EpollTest, EdgeRecordedWhileUnwatchedIsReplayed)
+{
+    auto [cli, srv] = establish(7111);
+    osk::EpollInstance *inst = ep_.instance(ep_.create());
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 5, osk::SockKind::Tcp,
+                        srv->id(), osk::EPOLLIN_ | osk::EPOLLET_, 31),
+              0);
+    // The edge fires with nobody in epoll_wait; it must be latched as
+    // pending and replayed to the next waiter, exactly once.
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("late-edge", 9);
+    }(cli));
+    sim_.run();
+    osk::EpollEvent ev[2];
+    ASSERT_EQ(waitOnce(inst, ev, 2, 0), 1);
+    EXPECT_EQ(ev[0].data, 31u);
+    EXPECT_EQ(waitOnce(inst, ev, 2, 1000), 0);
+    EXPECT_GE(ep_.edgesRecorded(), 1u);
+    EXPECT_GE(ep_.edgesDelivered(), 1u);
+    EXPECT_LE(ep_.edgesDelivered(), ep_.edgesRecorded());
+}
+
+TEST_F(EpollTest, OneshotDisarmsUntilRearmed)
+{
+    auto [cli, srv] = establish(7112);
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("a", 1);
+    }(cli));
+    sim_.run();
+    osk::EpollInstance *inst = ep_.instance(ep_.create());
+    const std::uint32_t mask =
+        osk::EPOLLIN_ | osk::EPOLLET_ | osk::EPOLLONESHOT_;
+    // ADD probes the already-ready level as the initial edge.
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 5, osk::SockKind::Tcp,
+                        srv->id(), mask, 55),
+              0);
+    osk::EpollEvent ev[2];
+    ASSERT_EQ(waitOnce(inst, ev, 2, 0), 1);
+    EXPECT_EQ(ev[0].data, 55u);
+    // Disarmed: a genuine fresh edge is latched but not delivered.
+    std::uint8_t b;
+    sim_.spawn([](osk::TcpSocket *s, std::uint8_t *p) -> sim::Task<> {
+        EXPECT_EQ(co_await s->read(p, 1), 1);
+    }(srv, &b));
+    sim_.run();
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("b", 1);
+    }(cli));
+    sim_.run();
+    EXPECT_EQ(waitOnce(inst, ev, 2, 1000), 0);
+    // MOD re-arms and replays the current level as a fresh edge.
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_MOD_, 5, osk::SockKind::Tcp,
+                        srv->id(), mask, 56),
+              0);
+    ASSERT_EQ(waitOnce(inst, ev, 2, 0), 1);
+    EXPECT_EQ(ev[0].data, 56u);
+}
+
+TEST_F(EpollTest, EtWakeSuppressedWithoutFreshEdge)
+{
+    auto [cli, srv] = establish(7113);
+    osk::EpollInstance *inst = ep_.instance(ep_.create());
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 5, osk::SockKind::Tcp,
+                        srv->id(), osk::EPOLLIN_ | osk::EPOLLET_, 42),
+              0);
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("one", 3);
+    }(cli));
+    sim_.run();
+    osk::EpollEvent ev[2];
+    ASSERT_EQ(waitOnce(inst, ev, 2, 0), 1); // edge consumed, NOT drained
+    const std::uint64_t wakeups_before = ep_.wakeups();
+    // New data lands while the level is already high: no transition,
+    // and the only interest is ET, so the sleeping waiter is not
+    // woken — it rides out its timeout.
+    std::int64_t n = -1;
+    sim_.spawn([](osk::EpollInstance *i, osk::EpollEvent *e,
+                  std::int64_t &out) -> sim::Task<> {
+        out = co_await i->wait(e, 2, ticks::ms(1), 42);
+    }(inst, ev, n));
+    sim_.spawn([](sim::Sim &sim, osk::TcpSocket *c) -> sim::Task<> {
+        co_await sim.delay(ticks::us(250));
+        co_await c->write("two", 3);
+    }(sim_, cli));
+    sim_.run();
+    EXPECT_EQ(n, 0);
+    EXPECT_EQ(ep_.wakeups(), wakeups_before);
+}
+
+TEST_F(EpollTest, LostEdgeReportedBySanitizer)
+{
+    gsan::Sanitizer san;
+    san.setEnabled(true);
+    ep_.setSanitizer(&san);
+    ep_.setTestLostEdge(true);
+
+    auto [cli, srv] = establish(7114);
+    osk::EpollInstance *inst = ep_.instance(ep_.create());
+    ASSERT_EQ(inst->ctl(osk::EPOLL_CTL_ADD_, 5, osk::SockKind::Tcp,
+                        srv->id(), osk::EPOLLIN_ | osk::EPOLLET_, 77),
+              0);
+    // First transition: the edge channel observes it, but the seeded
+    // mutant drops it before the pending bit is latched — the waiter
+    // times out empty-handed. The loss is not yet provable (the next
+    // noteEvent could still re-derive it if the probe state had not
+    // advanced), so no report yet.
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("lost", 4);
+    }(cli));
+    sim_.run();
+    osk::EpollEvent ev[2];
+    EXPECT_EQ(waitOnce(inst, ev, 2, 1000), 0);
+    EXPECT_EQ(san.reportCount(), 0u);
+    // Drain out of band so the level drops; the next arrival is a
+    // second genuine transition, and at its observation gsan sees
+    // seen > recorded: the earlier edge was consumed by the probe
+    // state without ever being latched, so no future notification can
+    // reconstruct it.
+    std::uint8_t buf[8];
+    sim_.spawn([](osk::TcpSocket *s, std::uint8_t *b) -> sim::Task<> {
+        EXPECT_EQ(co_await s->read(b, 8), 4);
+    }(srv, buf));
+    sim_.run();
+    sim_.spawn([](osk::TcpSocket *c) -> sim::Task<> {
+        co_await c->write("next", 4);
+    }(cli));
+    sim_.run();
+    EXPECT_EQ(san.countOf(gsan::ReportKind::LostEdge), 1u);
+    EXPECT_EQ(san.reportCount(), 1u);
+    // The second edge itself was recorded and delivers normally.
+    ASSERT_EQ(waitOnce(inst, ev, 2, 0), 1);
+    EXPECT_EQ(ev[0].data, 77u);
+    ep_.setSanitizer(nullptr);
+}
+
 TEST_F(EpollTest, ClosedInstanceUnblocksWaiterWithEbadf)
 {
     auto [cli, srv] = establish(7107);
@@ -596,6 +773,87 @@ TEST_F(NetSyscallTest, EpollSyscallSurface)
               -EBADF);
 }
 
+TEST_F(NetSyscallTest, VectoredScatterGatherRoundTrip)
+{
+    const auto lfd = sys(osk::sysno::socket, osk::makeArgs(2, 1, 0));
+    osk::SockAddr addr{1, 8202};
+    ASSERT_EQ(sys(osk::sysno::bind, osk::makeArgs(lfd, &addr, 8)), 0);
+    ASSERT_EQ(sys(osk::sysno::listen, osk::makeArgs(lfd, 16)), 0);
+    const auto cfd = sys(osk::sysno::socket, osk::makeArgs(2, 1, 0));
+    ASSERT_EQ(sys(osk::sysno::connect, osk::makeArgs(cfd, &addr, 8)),
+              0);
+    const auto afd =
+        sys(osk::sysno::accept, osk::makeArgs(lfd, nullptr, 0));
+    ASSERT_GE(afd, 0);
+
+    // writev gathers two iovecs into the stream as one transfer.
+    osk::IoVec wv[2] = {
+        {osk::SyscallArgs::fromPtr("scatter-"), 8},
+        {osk::SyscallArgs::fromPtr("gather"), 6},
+    };
+    EXPECT_EQ(sys(osk::sysno::writev, osk::makeArgs(cfd, wv, 2)), 14);
+    // readv scatters the bytes back across two buffers.
+    char a[9] = {};
+    char b[7] = {};
+    osk::IoVec rv[2] = {
+        {osk::SyscallArgs::fromPtr(a), 8},
+        {osk::SyscallArgs::fromPtr(b), 6},
+    };
+    EXPECT_EQ(sys(osk::sysno::readv, osk::makeArgs(afd, rv, 2)), 14);
+    EXPECT_EQ(std::string(a), "scatter-");
+    EXPECT_EQ(std::string(b), "gather");
+    // The copy-out path is charged to the copied-bytes counter.
+    EXPECT_EQ(kernel_.tcp().counters().copiedBytes, 14u);
+    EXPECT_EQ(kernel_.tcp().counters().zerocopyBytes, 0u);
+}
+
+TEST_F(NetSyscallTest, RecvmsgZeroCopyLoanLifecycle)
+{
+    const auto lfd = sys(osk::sysno::socket, osk::makeArgs(2, 1, 0));
+    osk::SockAddr addr{1, 8203};
+    ASSERT_EQ(sys(osk::sysno::bind, osk::makeArgs(lfd, &addr, 8)), 0);
+    ASSERT_EQ(sys(osk::sysno::listen, osk::makeArgs(lfd, 16)), 0);
+    const auto cfd = sys(osk::sysno::socket, osk::makeArgs(2, 1, 0));
+    ASSERT_EQ(sys(osk::sysno::connect, osk::makeArgs(cfd, &addr, 8)),
+              0);
+    const auto afd =
+        sys(osk::sysno::accept, osk::makeArgs(lfd, nullptr, 0));
+    ASSERT_GE(afd, 0);
+    EXPECT_EQ(sys(osk::sysno::write, osk::makeArgs(cfd, "genesys", 7)),
+              7);
+
+    // Zero-copy receive: the iovec entries are rewritten in place to
+    // point into the loaned wire segments; nothing is copied.
+    osk::IoVec iov[4] = {};
+    EXPECT_EQ(sys(osk::sysno::recvmsg,
+                  osk::makeArgs(afd, iov, 4,
+                                std::uint64_t(osk::MSG_ZEROCOPY_))),
+              7);
+    ASSERT_EQ(iov[0].len, 7u);
+    EXPECT_EQ(std::memcmp(iov[0].asPtr(), "genesys", 7), 0);
+    EXPECT_EQ(iov[1].len, 0u);
+    EXPECT_EQ(kernel_.tcp().counters().copiedBytes, 0u);
+    EXPECT_EQ(kernel_.tcp().counters().zerocopyBytes, 7u);
+    osk::OpenFile *file =
+        proc_->fds().get(static_cast<int>(afd));
+    ASSERT_NE(file, nullptr);
+    EXPECT_EQ(file->loanedSegs.size(), 1u);
+
+    // An empty chain probes -EAGAIN with DONTWAIT — and entering
+    // recvmsg retires the previous loan generation on this fd.
+    EXPECT_EQ(sys(osk::sysno::recvmsg,
+                  osk::makeArgs(afd, iov, 4,
+                                std::uint64_t(osk::MSG_ZEROCOPY_ |
+                                              osk::MSG_DONTWAIT_))),
+              -EAGAIN);
+    EXPECT_TRUE(file->loanedSegs.empty());
+    // The copy path honors DONTWAIT too.
+    EXPECT_EQ(sys(osk::sysno::recvmsg,
+                  osk::makeArgs(afd, iov, 4,
+                                std::uint64_t(osk::MSG_DONTWAIT_))),
+              -EAGAIN);
+}
+
 // ============================================= GPU halt/resume paths
 
 /** Host-side plumbing for the GPU epoll tests: a connected pair with
@@ -730,6 +988,62 @@ TEST(GpuEpoll, WaitHaltsAndResumesViaPollingDaemon)
     EXPECT_GT(sys.host().batches(), 0u); // daemon sweeps serviced it
 }
 
+// ============================================ vectored GPU submission
+
+TEST(GpuVectored, WritevThroughDescriptorWindow)
+{
+    core::SystemConfig cfg;
+    cfg.gpu.numCus = 1;
+    cfg.gpu.kernelLaunchLatency = ticks::us(5);
+    cfg.genesys.useRings = true;
+    core::System sys(cfg);
+    GpuNetRig rig = buildRig(sys, 8400);
+
+    static const char kPartA[] = "vect";
+    static const char kPartB[] = "ored";
+    static osk::IoVec iov[2];
+    iov[0] = osk::IoVec{osk::SyscallArgs::fromPtr(kPartA), 4};
+    iov[1] = osk::IoVec{osk::SyscallArgs::fromPtr(kPartB), 4};
+    std::int64_t lane_ret = -1;
+
+    gpu::KernelLaunch k;
+    const std::uint32_t wg = sys.config().gpu.wavefrontSize;
+    k.workItems = wg;
+    k.wgSize = wg;
+    const int conn_fd = static_cast<int>(rig.connFd);
+    k.program = [&sys, conn_fd,
+                 &lane_ret](gpu::WavefrontCtx &ctx) -> sim::Task<> {
+        core::Invocation inv; // strong ordering, blocking
+        inv.granularity = core::Granularity::WorkItem;
+        // Lane 0 stages its gather list in the wave's descriptor
+        // window; the single SQ entry carries the list by reference.
+        co_await sys.gpuSys().invokeWorkItemsVectored(
+            ctx, inv, osk::sysno::writev,
+            [conn_fd](std::uint32_t lane)
+                -> std::optional<core::GpuSyscalls::LaneVec> {
+                if (lane != 0)
+                    return std::nullopt;
+                return core::GpuSyscalls::LaneVec{conn_fd, iov, 2, 0};
+            },
+            [&lane_ret](std::uint32_t lane, std::int64_t ret) {
+                if (lane == 0)
+                    lane_ret = ret;
+            });
+    };
+    sys.launchGpuAndDrain(std::move(k));
+
+    std::uint8_t buf[16] = {};
+    std::int64_t got = 0;
+    sys.sim().spawn([](osk::TcpSocket *c, std::uint8_t *b,
+                       std::int64_t &out) -> sim::Task<> {
+        out = co_await c->read(b, 8);
+    }(rig.client, buf, got));
+    sys.run();
+    EXPECT_EQ(lane_ret, 8);
+    EXPECT_EQ(got, 8);
+    EXPECT_EQ(std::memcmp(buf, "vectored", 8), 0);
+}
+
 // ======================================================== gkv server
 
 TEST(Gkv, GpuServerEndToEnd)
@@ -771,6 +1085,55 @@ TEST(Gkv, CpuServerEndToEnd)
     EXPECT_EQ(res.gets + res.sets, 24u);
     EXPECT_EQ(res.accepted, 4u);
     EXPECT_GT(res.p50LatencyUs, 0.0);
+}
+
+TEST(Gkv, PipelinedZeroCopyHotPath)
+{
+    core::SystemConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.kernelLaunchLatency = ticks::us(5);
+    core::System sys(cfg);
+    workloads::GkvConfig gc;
+    gc.useGpu = true;
+    gc.numConnections = 4;
+    gc.requestsPerConn = 8;
+    gc.serverGroups = 2;
+    gc.valueBytes = 128;
+    gc.pipelineDepth = 4;
+    gc.thinkNs = 200;
+    const auto res = workloads::runGkv(sys, gc);
+    EXPECT_TRUE(res.correct);
+    EXPECT_EQ(res.gets + res.sets, 32u);
+    // The serving path never copies received bytes: requests parse in
+    // the loaned wire segments, replies gather through writev, and
+    // the client parses replies off the segment chain.
+    EXPECT_EQ(sys.kernel().tcp().counters().copiedBytes, 0u);
+    EXPECT_GT(sys.kernel().tcp().counters().zerocopyBytes, 0u);
+    // Edge-triggered readiness did the multiplexing.
+    EXPECT_GT(sys.kernel().epoll().edgesRecorded(), 0u);
+    EXPECT_GT(sys.kernel().epoll().edgesDelivered(), 0u);
+}
+
+TEST(Gkv, PipelinedRingModeCorrect)
+{
+    core::SystemConfig cfg;
+    cfg.gpu.numCus = 2;
+    cfg.gpu.kernelLaunchLatency = ticks::us(5);
+    cfg.genesys.useRings = true;
+    core::System sys(cfg);
+    workloads::GkvConfig gc;
+    gc.useGpu = true;
+    gc.numConnections = 4;
+    gc.requestsPerConn = 8;
+    gc.serverGroups = 2;
+    gc.valueBytes = 128;
+    gc.pipelineDepth = 4;
+    gc.thinkNs = 200;
+    const auto res = workloads::runGkv(sys, gc);
+    EXPECT_TRUE(res.correct);
+    EXPECT_EQ(res.gets + res.sets, 32u);
+    EXPECT_EQ(sys.kernel().tcp().counters().copiedBytes, 0u);
+    EXPECT_GT(sys.gpuSys().issuedRequests(), 0u);
 }
 
 TEST(Gkv, LossyWireStillCorrect)
