@@ -436,8 +436,11 @@ def check_sysno_classified(raw_by_path, scrubbed_by_path,
                 line_of(classification, m.start()),
                 "sysno-classified",
                 "classification row '%s' names no declared sysno and "
-                "is not in the frozen census baseline; typo, or a "
-                "missing sysno:: declaration in %s?"
+                "is not in the frozen census baseline; typo, a "
+                "missing sysno:: declaration in %s, or — for a "
+                "genuinely new census-only row — add it to "
+                "KNOWN_CENSUS_ROWS or mark the row's line with "
+                "'glint: allow(sysno-classified)'"
                 % (name, SYSNO_FILE)))
     return findings
 
@@ -612,6 +615,11 @@ SYSNO_SELF_TEST_CASES = [
     ("census baseline row ok",
      "inline constexpr int read = 0;",
      'Row rows[] = {{"read"}, {"fork"}};', frozenset({"fork"}), 0),
+    ("hand-added census-only row allowed on its line",
+     "inline constexpr int read = 0;",
+     'Row rows[] = {{"read"},\n'
+     '              {"io_uring_enter"}};'
+     '  // glint: allow(sysno-classified)', frozenset(), 0),
     ("both directions at once",
      "inline constexpr int read = 0;\n"
      "inline constexpr int new_call = 5;",

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Baseline-diff gate for gstat findings.
+
+Compares a `gstat --json` report against the checked-in baseline
+(scripts/gstat_baseline.json). The tree is kept finding-free, so the
+baseline is normally empty — but the gate is shaped so a finding that
+must temporarily ride along (e.g. while a fix lands in a neighboring
+PR) can be recorded instead of suppressed in source:
+
+  new findings (not in the baseline)      -> exit 1, listed
+  resolved baseline entries (fixed bugs)  -> exit 1 with a nudge to
+                                             re-baseline, so stale
+                                             entries cannot linger
+  --update                                -> rewrite the baseline from
+                                             the report
+
+A finding's identity is (path, rule, line). Line drift on unrelated
+edits will surface as one new + one resolved entry; both force a look,
+which is the point of a baseline gate.
+
+Usage:
+  gstat --json src > report.json
+  python3 scripts/gstat_diff.py report.json [--baseline FILE] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "gstat_baseline.json"
+
+
+def keys(report: dict) -> set[tuple[str, str, int]]:
+    return {
+        (f["path"], f["rule"], int(f["line"]))
+        for f in report.get("findings", [])
+    }
+
+
+def load(path: Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        sys.exit(f"gstat_diff: no such file: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"gstat_diff: {path} is not valid JSON: {exc}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="output of `gstat --json`")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the report and exit 0",
+    )
+    args = ap.parse_args()
+
+    report = load(Path(args.report))
+    if args.update:
+        baseline = {
+            "findings": sorted(
+                (
+                    {
+                        "path": f["path"],
+                        "rule": f["rule"],
+                        "line": int(f["line"]),
+                    }
+                    for f in report.get("findings", [])
+                ),
+                key=lambda f: (f["path"], f["line"], f["rule"]),
+            )
+        }
+        args.baseline.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"gstat_diff: baseline rewritten with "
+            f"{len(baseline['findings'])} finding(s)"
+        )
+        return 0
+
+    base = keys(load(args.baseline))
+    now = keys(report)
+
+    new = sorted(now - base)
+    resolved = sorted(base - now)
+    for path, rule, line in new:
+        print(f"NEW      {path}:{line}: [{rule}]")
+    for path, rule, line in resolved:
+        print(f"RESOLVED {path}:{line}: [{rule}] (re-baseline with --update)")
+
+    if new or resolved:
+        print(
+            f"gstat_diff: {len(new)} new, {len(resolved)} resolved "
+            f"vs baseline {args.baseline}"
+        )
+        return 1
+    print(
+        f"gstat_diff: clean — {len(now)} finding(s), all accounted for "
+        f"in {args.baseline}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

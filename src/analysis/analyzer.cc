@@ -104,6 +104,13 @@ collectOpaqueClasses(Program &prog)
 AnalysisResult
 analyzeSources(const std::vector<SourceFile> &sources)
 {
+    return analyzeSources(sources, PassSet{});
+}
+
+AnalysisResult
+analyzeSources(const std::vector<SourceFile> &sources,
+               const PassSet &ps)
+{
     Program prog;
     prog.files.reserve(sources.size());
     for (const SourceFile &s : sources)
@@ -113,7 +120,7 @@ analyzeSources(const std::vector<SourceFile> &sources)
     collectOpaqueClasses(prog);
     indexFunctions(prog);
 
-    std::vector<Finding> all = runAllPasses(prog);
+    std::vector<Finding> all = runPasses(prog, ps);
 
     std::map<std::string, const LexedFile *> byPath;
     for (const LexedFile &f : prog.files)

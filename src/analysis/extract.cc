@@ -493,6 +493,7 @@ class FileExtractor
                 cs.args.push_back(toks_[b].text);
             else
                 cs.args.push_back("");
+            cs.argRoots.push_back(argRoot(b, e));
         };
         int depth = 0;
         std::size_t b = lparen + 1;
@@ -525,6 +526,31 @@ class FileExtractor
         }
         flush(b, rparen);
         cs.argCount = static_cast<int>(cs.args.size());
+    }
+
+    /**
+     * The identifier an argument expression [@p b, @p e) is "about":
+     * the first identifier that is not a qualifier (`std::`), not a
+     * template/cast head (`min<`), not a function name (`move(`) and
+     * not itself qualified (`::ptrdiff_t`). `*base` roots at "base",
+     * `std::move(seg.data)` at "seg", `segs.data()` at "segs".
+     */
+    std::string
+    argRoot(std::size_t b, std::size_t e) const
+    {
+        for (std::size_t k = b; k < e; ++k) {
+            const Token &t = toks_[k];
+            if (!isIdent(t) || keywords().count(t.text) != 0)
+                continue;
+            if (k + 1 < e && (isPunct(toks_[k + 1], "::") ||
+                              isPunct(toks_[k + 1], "<") ||
+                              isPunct(toks_[k + 1], "(")))
+                continue;
+            if (k > b && isPunct(toks_[k - 1], "::"))
+                continue;
+            return t.text;
+        }
+        return "";
     }
 
     // ---- body scanning --------------------------------------------
@@ -612,16 +638,40 @@ class FileExtractor
             }
             if (isPunct(t, "(")) {
                 OpenParen op;
+                std::size_t nameIdx = 0; // 0 = not a call
                 if (i > lbrace && isIdent(toks_[i - 1]) &&
                     keywords().count(toks_[i - 1].text) == 0) {
-                    op.callee = toks_[i - 1].text;
+                    nameIdx = i - 1;
+                } else if (i > lbrace && isPunct(toks_[i - 1], ">")) {
+                    // Explicit template argument list:
+                    // `min<std::uint64_t>(...)` — hop back over the
+                    // balanced angle section to the name. Comparison
+                    // and shift `>` fail the balance check and are
+                    // left alone (as are cast keywords).
+                    int d = 0;
+                    std::size_t k = i - 1;
+                    bool matched = false;
+                    for (; k > lbrace && (i - 1) - k < 24; --k) {
+                        if (isPunct(toks_[k], ">"))
+                            ++d;
+                        else if (isPunct(toks_[k], "<") && --d == 0) {
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if (matched && k > lbrace && isIdent(toks_[k - 1]) &&
+                        keywords().count(toks_[k - 1].text) == 0)
+                        nameIdx = k - 1;
+                }
+                if (nameIdx != 0) {
+                    op.callee = toks_[nameIdx].text;
                     op.deferral = deferralSinks().count(op.callee) > 0;
                     CallSite cs;
                     cs.callee = op.callee;
                     // Explicit qualification: walk back over ident::
                     // pairs (e.g. std::fprintf, sim::Delay).
                     {
-                        std::size_t k = i - 1;
+                        std::size_t k = nameIdx;
                         while (k >= 2 && isPunct(toks_[k - 1], "::") &&
                                isIdent(toks_[k - 2])) {
                             cs.qualifier =
@@ -631,8 +681,32 @@ class FileExtractor
                             k -= 2;
                         }
                     }
-                    cs.line = toks_[i - 1].line;
-                    cs.tokenIndex = i - 1;
+                    // Receiver: the ident before a '.'/'->' ahead of
+                    // the name — or, for a chained receiver like
+                    // `p.fds().allocate(...)`, the innermost call's
+                    // name ("fds").
+                    if (cs.qualifier.empty() && nameIdx >= 2) {
+                        const Token &sep = toks_[nameIdx - 1];
+                        if (isPunct(sep, ".") || isPunct(sep, "->")) {
+                            if (isIdent(toks_[nameIdx - 2])) {
+                                cs.receiver = toks_[nameIdx - 2].text;
+                            } else if (isPunct(toks_[nameIdx - 2], ")")) {
+                                int d = 0;
+                                std::size_t k = nameIdx - 2;
+                                for (; k > 0; --k) {
+                                    if (isPunct(toks_[k], ")"))
+                                        ++d;
+                                    else if (isPunct(toks_[k], "(") &&
+                                             --d == 0)
+                                        break;
+                                }
+                                if (k > 0 && isIdent(toks_[k - 1]))
+                                    cs.receiver = toks_[k - 1].text;
+                            }
+                        }
+                    }
+                    cs.line = toks_[nameIdx].line;
+                    cs.tokenIndex = nameIdx;
                     cs.deferred = inDeferral();
                     cs.heldLocks = heldNow(guards);
                     captureArgs(i, matchForward(i, "(", ")", limit),

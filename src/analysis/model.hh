@@ -33,6 +33,12 @@ struct CallSite
     /// name does not match — `std::fprintf` must not resolve to some
     /// in-tree `GpuStdio::fprintf`.
     std::string qualifier;
+    /// Receiver identifier for member calls: the `x` of `x.f(...)` /
+    /// `x->f(...)`. When the receiver is itself a call chain
+    /// (`p.fds().allocate(...)`), the name of the innermost call
+    /// ("fds") — enough for the flow passes to recognize the API
+    /// without a type system. Empty for free calls.
+    std::string receiver;
     int line = 0;
     std::size_t tokenIndex = 0; ///< into the owning file's tokens
     /// Inside a lambda (or call argument) handed to a deferral sink
@@ -47,6 +53,13 @@ struct CallSite
     /// Per-position arguments: the spelled name when the argument is
     /// a single identifier or number token, "" for anything richer.
     std::vector<std::string> args;
+    /// Per-position argument root: the identifier an argument
+    /// expression is "about" — `*base` and `base` root at "base",
+    /// `segs.data()` and `std::move(seg.data)` at "segs"/"seg",
+    /// `fd + 1` at "fd". "" when no plausible root exists. The flow
+    /// passes use roots to follow a resource or a tainted value
+    /// through a call boundary.
+    std::vector<std::string> argRoots;
     /// Identifiers a dominating `if (x < 0) return ...;` guard proves
     /// non-negative at this site.
     std::set<std::string> nonNegHere;

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/flowpasses.hh"
+
 namespace genesys::analysis
 {
 
@@ -337,7 +339,11 @@ runOrderingPass(const Program &prog)
         bool hasHeadStore = false;
         std::vector<std::size_t> loadIdx;
         for (const CallSite &c : f.calls) {
-            if (c.callee == "ringConsume")
+            // ringConsumeRacy is a deliberate-race annotation: the
+            // body documents an unordered read, which is exactly what
+            // this rule wants made explicit.
+            if (c.callee == "ringConsume" ||
+                c.callee == "ringConsumeRacy")
                 hasConsume = true;
             else if (c.callee == "storeTailRelease")
                 hasTailStore = true;
@@ -407,6 +413,15 @@ runOrderingPass(const Program &prog)
         for (const EntriesAccess &a : f.entriesAccesses) {
             if (a.isWrite || hasConsume)
                 continue;
+            // A read already ordered after an acquire load of a ring
+            // counter in the same body (the bounds-check reclaim
+            // pattern: assert head/tail, then read) is disciplined
+            // without a separate annotation.
+            const bool afterLoad = std::any_of(
+                loadIdx.begin(), loadIdx.end(),
+                [&a](std::size_t li) { return li < a.tokenIndex; });
+            if (afterLoad)
+                continue;
             Finding fd;
             fd.path = file.path;
             fd.line = a.line;
@@ -435,20 +450,33 @@ runOrderingPass(const Program &prog)
 }
 
 std::vector<Finding>
-runAllPasses(const Program &prog)
+runPasses(const Program &prog, const PassSet &ps)
 {
     CallGraph cg(prog);
-    std::vector<Finding> findings = runMayParkPass(cg);
-    std::vector<Finding> locks = runLockOrderPass(cg);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(locks.begin()),
-                    std::make_move_iterator(locks.end()));
-    std::vector<Finding> ord = runOrderingPass(prog);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(ord.begin()),
-                    std::make_move_iterator(ord.end()));
+    std::vector<Finding> findings;
+    auto append = [&findings](std::vector<Finding> more) {
+        findings.insert(findings.end(),
+                        std::make_move_iterator(more.begin()),
+                        std::make_move_iterator(more.end()));
+    };
+    if (ps.mayPark)
+        append(runMayParkPass(cg));
+    if (ps.lockOrder)
+        append(runLockOrderPass(cg));
+    if (ps.ordering)
+        append(runOrderingPass(prog));
+    if (ps.ownership)
+        append(runOwnershipPass(cg));
+    if (ps.taint)
+        append(runTaintPass(cg));
     sortFindings(findings);
     return findings;
+}
+
+std::vector<Finding>
+runAllPasses(const Program &prog)
+{
+    return runPasses(prog, PassSet{});
 }
 
 } // namespace genesys::analysis

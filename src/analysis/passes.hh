@@ -1,6 +1,8 @@
 /**
  * @file
- * gstat's three analysis passes (DESIGN.md §14).
+ * gstat's structural analysis passes (DESIGN.md §14). The two gflow
+ * dataflow passes (ownership, GPU taint — DESIGN.md §16) are declared
+ * in flowpasses.hh and selected through the same PassSet.
  *
  * 1. May-park (`nonblocking-handler-parks`, `drain-loop-park`,
  *    `park-under-lock`): transitive reachability to parking primitives
@@ -49,7 +51,21 @@ std::vector<Finding> runMayParkPass(CallGraph &cg);
 std::vector<Finding> runLockOrderPass(CallGraph &cg);
 std::vector<Finding> runOrderingPass(const Program &prog);
 
-/** All three passes, sorted for stable output. */
+/** Pass selection for runPasses. Defaults to everything. The gflow
+ *  passes (DESIGN.md §16) live in flowpasses.cc. */
+struct PassSet
+{
+    bool mayPark = true;
+    bool lockOrder = true;
+    bool ordering = true;
+    bool ownership = true;
+    bool taint = true;
+};
+
+/** Run the selected passes, sorted for stable output. */
+std::vector<Finding> runPasses(const Program &prog, const PassSet &ps);
+
+/** All passes, sorted for stable output. */
 std::vector<Finding> runAllPasses(const Program &prog);
 
 } // namespace genesys::analysis

@@ -38,13 +38,18 @@ struct CorpusCase
     int suppressed = 0;
 };
 
-// Rules whose findings must carry an interprocedural witness chain.
+// Rules whose findings must carry a witness (an interprocedural call
+// chain, or a gflow path trace from acquire/source to exit/sink).
 const std::set<std::string> &
 witnessRules()
 {
     static const std::set<std::string> rules = {
         "nonblocking-handler-parks", "drain-loop-park",
-        "park-under-lock", "lock-order-cycle"};
+        "park-under-lock", "lock-order-cycle",
+        "must-release-fd", "must-release-ring-claim",
+        "must-release-slot", "must-release-netseg",
+        "must-release-epoll", "gpu-taint-mem", "gpu-taint-alloc",
+        "gpu-taint-index", "gpu-taint-window"};
     return rules;
 }
 
@@ -516,6 +521,329 @@ struct Q
 )src"}},
          {{"unpaired-release", 1}}});
 
+    // ---- gflow: fd lifecycle ----------------------------------------
+    cases.push_back(
+        {"flow-fd-lifecycle",
+         {{"corpus/flow_fd.cc", R"src(
+long
+leakOnError(Proc &p, File f, bool bad)
+{
+    const int fd = p.fds().allocate(f);
+    if (bad)
+        return -1; // seeded defect: fd leaks on the error path
+    p.fds().close(fd);
+    return fd;
+}
+
+long
+closedOnAllPaths(Proc &p, File f, bool bad)
+{
+    const int fd = p.fds().allocate(f);
+    if (bad) {
+        p.fds().close(fd);
+        return -1; // negative: error path closes first
+    }
+    p.fds().close(fd);
+    return 0;
+}
+
+long
+transferred(Proc &p, File f)
+{
+    return p.fds().allocate(f); // negative: ownership moves up
+}
+
+void
+shutdownFd(Proc &p, int fd)
+{
+    p.fds().close(fd);
+}
+
+long
+releasedViaHelper(Proc &p, File f)
+{
+    const int fd = p.fds().allocate(f);
+    shutdownFd(p, fd); // negative: the helper closes it
+    return 0;
+}
+)src"}},
+         {{"must-release-fd", 1}}});
+
+    // ---- gflow: ring claim ------------------------------------------
+    cases.push_back(
+        {"flow-ring-claim",
+         {{"corpus/flow_claim.cc", R"src(
+struct CompletionRing
+{
+    std::optional<unsigned long> tryClaim(unsigned long n,
+                                          unsigned long head);
+    unsigned long loadHeadAcquire() const;
+    void writeEntry(unsigned long pos, unsigned v);
+    bool tryPublish(unsigned long base, unsigned long n);
+};
+
+bool
+claimDroppedOnThrow(CompletionRing &cq, unsigned v, bool full)
+{
+    auto base = cq.tryClaim(1, cq.loadHeadAcquire());
+    if (!base)
+        return false; // negative edge: the claim never happened
+    cq.writeEntry(*base, v);
+    if (full)
+        throw RingOverflow{}; // seeded defect: claimed, not published
+    cq.tryPublish(*base, 1);
+    return true;
+}
+
+bool
+publishedOnAllPaths(CompletionRing &cq, unsigned v)
+{
+    auto base = cq.tryClaim(1, cq.loadHeadAcquire());
+    if (!base)
+        return false;
+    cq.writeEntry(*base, v);
+    cq.tryPublish(*base, 1); // negative: straight-line publish
+    return true;
+}
+)src"}},
+         {{"must-release-ring-claim", 1}}});
+
+    // ---- gflow: slot FSM --------------------------------------------
+    cases.push_back(
+        {"flow-slot-fsm",
+         {{"corpus/flow_slot.cc", R"src(
+sim::Task<bool>
+abandonedSlot(SyscallSlot &slot, bool fail)
+{
+    if (!slot.beginProcessing())
+        co_return false; // negative edge: never acquired
+    const long ret = runHandler(slot);
+    if (fail)
+        co_return false; // seeded defect: slot never completed
+    slot.complete(ret);
+    co_return true;
+}
+
+sim::Task<bool>
+completedSlot(SyscallSlot &slot, bool fail)
+{
+    if (!slot.beginProcessing())
+        co_return false;
+    const long ret = runHandler(slot);
+    if (fail) {
+        slot.complete(-4); // negative: error path completes too
+        co_return false;
+    }
+    slot.complete(ret);
+    co_return true;
+}
+)src"}},
+         {{"must-release-slot", 1}}});
+
+    // ---- gflow: zero-copy segment loans -----------------------------
+    cases.push_back(
+        {"flow-netseg-loan",
+         {{"corpus/flow_netseg.cc", R"src(
+sim::Task<long>
+loanDropped(TcpSocket *sock, OpenFile *file)
+{
+    std::vector<NetSeg> segs(16);
+    const auto got = co_await sock->readSegments(segs.data(), 16);
+    if (got <= 0)
+        co_return got; // negative edge: nothing was loaned
+    if (got > 8)
+        co_return -1; // seeded defect: loaned segments dropped
+    for (int i = 0; i < got; ++i) {
+        auto &seg = segs[i];
+        file->loanedSegs.push_back(std::move(seg.data));
+    }
+    co_return got;
+}
+
+sim::Task<long>
+loanDistributed(TcpSocket *sock, OpenFile *file)
+{
+    std::vector<NetSeg> segs(16);
+    const auto got = co_await sock->readSegments(segs.data(), 16);
+    if (got <= 0)
+        co_return got;
+    for (int i = 0; i < got; ++i) {
+        auto &seg = segs[i];
+        file->loanedSegs.push_back(std::move(seg.data));
+    }
+    co_return got; // negative: every loan reached an owner
+}
+)src"}},
+         {{"must-release-netseg", 1}}});
+
+    // ---- gflow: epoll interest registration -------------------------
+    cases.push_back(
+        {"flow-epoll-interest",
+         {{"corpus/flow_epoll.cc", R"src(
+long
+interestLeaked(EpollInstance &ep, OpenFile *target, bool fail)
+{
+    ep.ctl(EPOLL_CTL_ADD_, target, 7);
+    if (fail)
+        return -1; // seeded defect: interest never deregistered
+    ep.ctl(EPOLL_CTL_DEL_, target, 0);
+    return 0;
+}
+
+long
+interestBalanced(EpollInstance &ep, OpenFile *target, bool fail)
+{
+    ep.ctl(EPOLL_CTL_ADD_, target, 7);
+    if (fail) {
+        ep.ctl(EPOLL_CTL_DEL_, target, 0); // negative: balanced
+        return -1;
+    }
+    ep.ctl(EPOLL_CTL_DEL_, target, 0);
+    return 0;
+}
+)src"}},
+         {{"must-release-epoll", 1}}});
+
+    // ---- gflow: taint into memory ops -------------------------------
+    cases.push_back(
+        {"flow-taint-mem",
+         {{"corpus/flow_mem.cc", R"src(
+long
+unboundedCopy(const SyscallArgs &args, char *dst, const char *src)
+{
+    const unsigned long n = args.a[2];
+    std::memcpy(dst, src, n); // seeded defect: GPU-controlled size
+    return 0;
+}
+
+long
+boundedCopy(const SyscallArgs &args, char *dst, const char *src)
+{
+    const unsigned long n = args.a[2];
+    if (n > 4096)
+        return -1;
+    std::memcpy(dst, src, n); // negative: dominated by the bound
+    return 0;
+}
+
+long
+clampedCopy(const SyscallArgs &args, char *dst, const char *src,
+            unsigned long cap)
+{
+    const unsigned long n = std::min(args.a[2], cap);
+    std::memcpy(dst, src, n); // negative: min() launders the size
+    return 0;
+}
+)src"}},
+         {{"gpu-taint-mem", 1}}});
+
+    // ---- gflow: taint into allocation sizes -------------------------
+    cases.push_back(
+        {"flow-taint-alloc",
+         {{"corpus/flow_alloc.cc", R"src(
+long
+unboundedVec(const SyscallArgs &args)
+{
+    const int cnt = args.as<int>(2);
+    if (cnt < 0)
+        return -22; // lower bound only: proves nothing about size
+    std::vector<NetSeg> segs(static_cast<unsigned long>(cnt));
+    return 0; // seeded defect above: GPU-controlled element count
+}
+
+long
+boundedVec(const SyscallArgs &args)
+{
+    const int cnt = args.as<int>(2);
+    if (cnt < 0 || cnt > 64)
+        return -22;
+    std::vector<NetSeg> segs(static_cast<unsigned long>(cnt));
+    return 0; // negative: both bounds dominate the allocation
+}
+
+long
+unboundedResize(const SyscallArgs &args, std::vector<char> &buf)
+{
+    buf.resize(args.a[3]); // seeded defect: direct source into resize
+    return 0;
+}
+)src"}},
+         {{"gpu-taint-alloc", 2}}});
+
+    // ---- gflow: taint into container indexing -----------------------
+    cases.push_back(
+        {"flow-taint-index",
+         {{"corpus/flow_index.cc", R"src(
+long
+rawIndex(const SyscallArgs &args, FdTable &table)
+{
+    const unsigned idx = args.as<unsigned>(0);
+    return table.rows[idx]; // seeded defect: unchecked GPU index
+}
+
+long
+assertedIndex(const SyscallArgs &args, FdTable &table)
+{
+    const unsigned idx = args.as<unsigned>(0);
+    GENESYS_ASSERT(idx < table.count, "fd index in range");
+    return table.rows[idx]; // negative: asserted bound dominates
+}
+
+long
+poppedIndex(ServiceCore &core, Shard &shard, SyscallSlot *slots)
+{
+    const unsigned item = core.tryPopRingEntry(shard);
+    return slots[item].state; // seeded defect: ring payload indexes
+}
+)src"}},
+         {{"gpu-taint-index", 2}}});
+
+    // ---- gflow: GPU-window walks, incl. through a call --------------
+    cases.push_back(
+        {"flow-taint-window",
+         {{"corpus/flow_window.cc", R"src(
+long
+walkWindow(const SyscallArgs &args)
+{
+    const IoVec *iov = args.ptr<IoVec>(1);
+    const int cnt = args.as<int>(2);
+    if (cnt < 0)
+        return -22;
+    long total = 0;
+    for (int i = 0; i < cnt; ++i)
+        total += iov[i].len; // seeded defect: GPU-bounded walk
+    return total;
+}
+
+long
+sumSpans(const IoVec *iov, int iov_cnt)
+{
+    long cap = 0;
+    for (int i = 0; i < iov_cnt; ++i)
+        cap += iov[i].len;
+    return cap;
+}
+
+long
+forwardedCount(const SyscallArgs &args)
+{
+    const IoVec *iov = args.ptr<IoVec>(1);
+    const int cnt = args.as<int>(2);
+    return sumSpans(iov, cnt); // seeded defect: crosses the call
+}
+
+long
+clampedForward(const SyscallArgs &args)
+{
+    const IoVec *iov = args.ptr<IoVec>(1);
+    const int cnt = args.as<int>(2);
+    if (cnt < 0 || cnt > 1024)
+        return -22;
+    return sumSpans(iov, cnt); // negative: bounded before the call
+}
+)src"}},
+         {{"gpu-taint-window", 2}}});
+
     return cases;
 }
 
@@ -559,12 +887,17 @@ runCase(const CorpusCase &c)
 } // namespace
 
 int
-runSelfTest()
+runSelfTest(bool flowOnly)
 {
     int failures = 0;
     int defects = 0;
+    std::size_t ran = 0;
     const std::vector<CorpusCase> corpus = buildCorpus();
     for (const CorpusCase &c : corpus) {
+        if (flowOnly &&
+            std::string(c.name).compare(0, 5, "flow-") != 0)
+            continue;
+        ++ran;
         if (!runCase(c))
             ++failures;
         for (const Expect &e : c.expects)
@@ -572,7 +905,7 @@ runSelfTest()
     }
     std::printf("gstat self-test: %zu cases, %d seeded defects, "
                 "%d failure(s)\n",
-                corpus.size(), defects, failures);
+                ran, defects, failures);
     return failures == 0 ? 0 : 1;
 }
 

@@ -61,9 +61,9 @@ SyscallRing::entryAt(std::uint64_t pos) const
 {
     GENESYS_ASSERT(pos >= loadHeadAcquire() && pos < loadTailAcquire(),
                    "ring read outside published range");
-    // Bounds-asserted read of the published range; acquire ordering
-    // (and the gsan annotation) is the consuming caller's job.
-    // gstat: allow(unannotated-consume)
+    // Bounds-asserted read of the published range; the acquire loads
+    // in the assertion order this read after the producer's publish.
+    // The gsan annotation is the consuming caller's job.
     return entries_[indexOf(pos)];
 }
 
@@ -101,8 +101,6 @@ SyscallRing::racyPeekEntry() const
     // race on this ring channel.
     if (gsan_ != nullptr && gsan_->enabled())
         gsan_->ringConsumeRacy(key_);
-    // gstat: allow(unannotated-consume) — the missing acquire IS the
-    // point of this helper; gsan flags it at runtime instead.
     return entries_[indexOf(loadHeadAcquire())];
 }
 

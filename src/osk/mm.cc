@@ -154,6 +154,8 @@ MemoryManager::madvise(Addr addr, std::uint64_t length, int advice)
     if (vma == nullptr || addr % kPageSize != 0)
         return -EINVAL;
     const std::uint64_t first = (addr - vma->base) / kPageSize;
+    GENESYS_ASSERT(first < vma->pages,
+                   "madvise page index outside its own VMA");
     const std::uint64_t count =
         std::min(pagesFor(length), vma->pages - first);
     if (advice == MADV_WILLNEED_)

@@ -77,6 +77,8 @@ Kernel::createProcess()
         file->inode = terminal_;
         file->flags = fd == 0 ? O_RDONLY : O_WRONLY;
         file->path = "/dev/console";
+        // gstat: allow(must-release-fd) — stdio descriptors live for
+        // the process's whole lifetime by design.
         const int got = proc.fds().allocate(std::move(file));
         GENESYS_ASSERT(got == fd, "stdio setup");
     }

@@ -37,6 +37,17 @@ namespace genesys::osk
 namespace
 {
 
+// GPU waves hand in raw register blocks, so every count/length that
+// sizes a host-side buffer or walk must be clamped here, at the
+// boundary — the wave may be buggy or hostile. Bounds follow Linux:
+// UIO_MAXIOV for vectored I/O, the UDP datagram payload maximum, and
+// explicit ceilings where Linux uses rlimits.
+constexpr int kMaxIovSegments = 1024;            // UIO_MAXIOV
+constexpr std::uint64_t kMaxUdpPayload = 65507;  // 64KiB - headers
+constexpr int kMaxEpollEvents = 4096;
+constexpr int kMaxFds = 4096;                    // RLIMIT_NOFILE stand-in
+constexpr std::uint64_t kMaxFileBytes = 1ull << 31; // RLIMIT_FSIZE stand-in
+
 sim::Task<std::int64_t>
 sysOpen(Kernel &k, Process &p, const SyscallArgs &args)
 {
@@ -531,6 +542,10 @@ sysEpollWait(Kernel &k, Process &p, const SyscallArgs &args)
     EpollInstance *inst = k.epoll().instance(efile->epollId);
     if (inst == nullptr)
         co_return -EBADF;
+    // max_events bounds the collectReady() walk of the caller's
+    // events window; a GPU wave must not pick the bound itself.
+    if (max_events <= 0 || max_events > kMaxEpollEvents)
+        co_return -EINVAL;
     co_return co_await inst->wait(events, max_events, timeout_ns,
                                   waiter);
 }
@@ -561,6 +576,8 @@ sysSendto(Kernel &k, Process &p, const SyscallArgs &args)
         co_return -EBADF;
     if (buf == nullptr || dest == nullptr)
         co_return -EFAULT;
+    if (len > kMaxUdpPayload)
+        co_return -EMSGSIZE; // GPU-supplied length sizes this buffer
     std::vector<std::uint8_t> payload(buf, buf + len);
     co_await sim::Delay(k.sim().events(), k.params().udpSendBase);
     co_return co_await k.udp().socket(file->socketId)
@@ -613,7 +630,7 @@ sysReadv(Kernel &k, Process &p, const SyscallArgs &args)
     const int cnt = args.as<int>(2);
     if (iov == nullptr)
         co_return -EFAULT;
-    if (cnt < 0)
+    if (cnt < 0 || cnt > kMaxIovSegments)
         co_return -EINVAL;
     OpenFile *file = p.fds().get(fd);
     if (file == nullptr || !file->readable())
@@ -650,7 +667,7 @@ sysWritev(Kernel &k, Process &p, const SyscallArgs &args)
     const int cnt = args.as<int>(2);
     if (iov == nullptr)
         co_return -EFAULT;
-    if (cnt < 0)
+    if (cnt < 0 || cnt > kMaxIovSegments)
         co_return -EINVAL;
     OpenFile *file = p.fds().get(fd);
     if (file == nullptr || !file->writable())
@@ -690,7 +707,7 @@ sysSendmsg(Kernel &k, Process &p, const SyscallArgs &args)
         co_return -EOPNOTSUPP; // datagram msghdr routing not modeled
     if (iov == nullptr)
         co_return -EFAULT;
-    if (cnt < 0)
+    if (cnt < 0 || cnt > kMaxIovSegments)
         co_return -EINVAL;
     TcpSocket *sock = k.tcp().socket(file->tcpId);
     if (sock == nullptr)
@@ -713,7 +730,7 @@ sysRecvmsg(Kernel &k, Process &p, const SyscallArgs &args)
         co_return -EOPNOTSUPP;
     if (iov == nullptr)
         co_return -EFAULT;
-    if (cnt <= 0)
+    if (cnt <= 0 || cnt > kMaxIovSegments)
         co_return -EINVAL;
     TcpSocket *sock = k.tcp().socket(file->tcpId);
     if (sock == nullptr)
@@ -827,7 +844,9 @@ sysDup2(Kernel &k, Process &p, const SyscallArgs &args)
     const int newfd = args.as<int>(1);
     co_await sim::Delay(k.sim().events(), k.params().lseek);
     auto file = p.fds().getShared(oldfd);
-    if (file == nullptr || newfd < 0)
+    // installAt() grows the fd table to cover newfd, so the GPU-
+    // chosen slot must sit under the descriptor ceiling.
+    if (file == nullptr || newfd < 0 || newfd >= kMaxFds)
         co_return -EBADF;
     if (oldfd == newfd)
         co_return newfd;
@@ -882,7 +901,10 @@ sysFtruncate(Kernel &k, Process &p, const SyscallArgs &args)
         co_return -EBADF;
     if (file->inode->type() != InodeType::Regular)
         co_return -EINVAL;
-    static_cast<RegularFile *>(file->inode)->truncate(args.a[1]);
+    const std::uint64_t new_size = args.a[1];
+    if (new_size > kMaxFileBytes)
+        co_return -EFBIG; // truncate() eagerly allocates the backing
+    static_cast<RegularFile *>(file->inode)->truncate(new_size);
     co_return 0;
 }
 

@@ -13,6 +13,17 @@
 namespace genesys::osk
 {
 
+namespace
+{
+
+// Per-file backing-store ceiling (RLIMIT_FSIZE stand-in). write,
+// pwrite, and ftruncate all reach RegularFile with GPU-supplied
+// (offset, length) pairs; the clamp lives here so every path that can
+// grow data_ is bounded at the single allocation site.
+constexpr std::uint64_t kMaxRegularFileBytes = 1ull << 31;
+
+} // namespace
+
 // ------------------------------------------------------------ RegularFile
 
 void
@@ -70,6 +81,9 @@ std::uint64_t
 RegularFile::writeAt(std::uint64_t offset, const void *src,
                      std::uint64_t len)
 {
+    if (offset >= kMaxRegularFileBytes)
+        return 0; // short write at the size ceiling, like RLIMIT_FSIZE
+    len = std::min(len, kMaxRegularFileBytes - offset);
     if (synthetic_) {
         // Benchmark sink: account size only.
         size_ = std::max(size_, offset + len);
@@ -86,6 +100,7 @@ RegularFile::writeAt(std::uint64_t offset, const void *src,
 void
 RegularFile::truncate(std::uint64_t new_size)
 {
+    new_size = std::min(new_size, kMaxRegularFileBytes);
     if (!synthetic_)
         data_.resize(new_size, 0);
     size_ = new_size;

@@ -264,4 +264,134 @@ TEST(Gstat, SeededDefectCorpusPasses)
     EXPECT_EQ(runSelfTest(), 0);
 }
 
+// ---- gflow: path-sensitive ownership / taint (DESIGN.md §16) ----------
+
+TEST(Gflow, FdLeakOnErrorPathCarriesWitness)
+{
+    const AnalysisResult r = analyze(R"src(
+int handler(Proc &p, File f) {
+    int fd = p.fds.allocate(f);
+    if (fd > 2)
+        return -1;
+    p.fds.close(fd);
+    return 0;
+}
+)src");
+    ASSERT_EQ(rulesOf(r),
+              std::vector<std::string>{"must-release-fd"});
+    const Finding &f = r.findings[0];
+    ASSERT_GE(f.witness.size(), 2u);
+    EXPECT_NE(f.witness.front().find("acquired"), std::string::npos);
+    EXPECT_NE(f.witness.back().find("unreleased"), std::string::npos);
+}
+
+TEST(Gflow, UnboundedGpuLengthReachesMemcpy)
+{
+    const AnalysisResult r = analyze(R"src(
+void copyOut(const SyscallArgs &args, char *dst, const char *src) {
+    unsigned long len = args.a[2];
+    std::memcpy(dst, src, len);
+}
+)src");
+    EXPECT_EQ(rulesOf(r), std::vector<std::string>{"gpu-taint-mem"});
+}
+
+TEST(Gflow, ExplicitTemplateMinSanitizesCopySize)
+{
+    // `std::min<unsigned long>(...)` carries an explicit template
+    // argument list; the extractor must still see the call so the
+    // min/clamp sanitizer applies.
+    const AnalysisResult r = analyze(R"src(
+void copyOut(const SyscallArgs &args, char *dst, const Buf &b) {
+    unsigned long len = args.a[2];
+    const unsigned long n = std::min<unsigned long>(len, b.size);
+    std::memcpy(dst, b.data, n);
+}
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gflow, ShortCircuitGuardInOneConditionIsClean)
+{
+    // `fd < 0 || fd >= n || slots[fd] == 0`: each operand is scanned
+    // under the accumulated edge facts of the operands to its left.
+    const AnalysisResult r = analyze(R"src(
+int get(const SyscallArgs &args, Table &t) {
+    int fd = args.as<int>(0);
+    if (fd < 0 || fd >= t.n || t.slots[fd] == 0)
+        return -1;
+    return t.slots[fd];
+}
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gflow, CallReturnLaundersArgumentTaint)
+{
+    // `m.find(addr)` returns the callee's output, not raw GPU data;
+    // the GENESYS_ASSERT bound then sanitizes the derived index.
+    const AnalysisResult r = analyze(R"src(
+void drop(const SyscallArgs &args, Mm &m) {
+    unsigned long addr = args.a[0];
+    Vma *vma = m.find(addr);
+    unsigned long first = addr / 4096;
+    GENESYS_ASSERT(first < vma->pages, "bounds");
+    vma->state[first] = 1;
+}
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gflow, AssociativeContainerSubscriptIsClean)
+{
+    // A base used with keyed-container vocabulary (`contains`)
+    // subscripts by key, not position.
+    const AnalysisResult r = analyze(R"src(
+void track(const SyscallArgs &args, Reg &r) {
+    int fd = args.as<int>(0);
+    if (r.interests.contains(fd))
+        return;
+    r.interests[fd] = 1;
+}
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gflow, NetSegSlotOverwriteReleasesLoan)
+{
+    // The gkv reclaim idiom: a subscript store INTO the loan
+    // container drops that slot's loan; the assert's sign fact rules
+    // out the zero-iteration path.
+    const AnalysisResult r = analyze(R"src(
+long drain(Sock &s) {
+    NetSeg segs[4];
+    long got = s.readSegments(segs, 4, false);
+    GENESYS_ASSERT(got > 0, "drain");
+    for (long i = 0; i < got; ++i)
+        segs[i] = NetSeg{};
+    return got;
+}
+)src");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(Gflow, InterproceduralTaintChainNamesCallee)
+{
+    const AnalysisResult r = analyze(R"src(
+void sink(char *dst, const char *src, unsigned long n) {
+    std::memcpy(dst, src, n);
+}
+long entry(const SyscallArgs &args, char *d, const char *s) {
+    sink(d, s, args.a[2]);
+    return 0;
+}
+)src");
+    ASSERT_EQ(rulesOf(r), std::vector<std::string>{"gpu-taint-mem"});
+    bool namesCallee = false;
+    for (const std::string &step : r.findings[0].witness)
+        if (step.find("sink") != std::string::npos)
+            namesCallee = true;
+    EXPECT_TRUE(namesCallee);
+}
+
 } // namespace
